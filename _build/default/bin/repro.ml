@@ -1,0 +1,219 @@
+(* repro — regenerate the paper's tables and figures, or run ad-hoc mixes. *)
+
+open Cmdliner
+
+let params_term =
+  let config =
+    let doc = "Machine configuration (westmere | scaled | tiny)." in
+    Arg.(value & opt string "scaled" & info [ "config" ] ~docv:"NAME" ~doc)
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let warmup =
+    Arg.(
+      value
+      & opt int Ppp_core.Runner.default_params.Ppp_core.Runner.warmup_cycles
+      & info [ "warmup" ] ~docv:"CYCLES" ~doc:"Warmup cycles.")
+  in
+  let measure =
+    Arg.(
+      value
+      & opt int Ppp_core.Runner.default_params.Ppp_core.Runner.measure_cycles
+      & info [ "measure" ] ~docv:"CYCLES" ~doc:"Measured cycles.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Quarter-length windows (faster, noisier).")
+  in
+  let build config seed warmup measure quick =
+    match Ppp_hw.Machine.by_name config with
+    | None -> `Error (false, Printf.sprintf "unknown config %S" config)
+    | Some c ->
+        let div = if quick then 4 else 1 in
+        `Ok
+          {
+            Ppp_core.Runner.config = c;
+            seed;
+            warmup_cycles = warmup / div;
+            measure_cycles = measure / div;
+          }
+  in
+  Term.(ret (const build $ config $ seed $ warmup $ measure $ quick))
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-10s %-22s %s\n" e.Ppp_experiments.Registry.id
+          ("[" ^ e.Ppp_experiments.Registry.paper_ref ^ "]")
+          e.Ppp_experiments.Registry.title)
+      Ppp_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments.")
+    Term.(const run $ const ())
+
+let run_experiment params id =
+  match Ppp_experiments.Registry.find id with
+  | None ->
+      Printf.eprintf "unknown experiment %S (try `repro list`)\n" id;
+      exit 1
+  | Some e ->
+      Printf.printf "=== %s (%s): %s ===\n%!" e.Ppp_experiments.Registry.id
+        e.Ppp_experiments.Registry.paper_ref e.Ppp_experiments.Registry.title;
+      let t0 = Unix.gettimeofday () in
+      let out = e.Ppp_experiments.Registry.run ~params () in
+      Printf.printf "%s\n(%.1fs)\n\n%!" out (Unix.gettimeofday () -. t0)
+
+let run_cmd =
+  let ids =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT")
+  in
+  let run params ids = List.iter (run_experiment params) ids in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one or more experiments by id.")
+    Term.(const run $ params_term $ ids)
+
+let all_cmd =
+  let run params =
+    List.iter
+      (fun e -> run_experiment params e.Ppp_experiments.Registry.id)
+      Ppp_experiments.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment (the full reproduction).")
+    Term.(const run $ params_term)
+
+let parse_kinds names =
+  List.map
+    (fun n ->
+      match Ppp_apps.App.of_name n with
+      | Some k -> k
+      | None ->
+          Printf.eprintf
+            "unknown flow type %S (IP MON FW RE VPN SYN_MAX SYN:<r>:<i>)\n" n;
+          exit 1)
+    names
+
+let mix_cmd =
+  let kinds =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FLOW")
+  in
+  let run params names =
+    let kinds = parse_kinds names in
+    let specs =
+      List.mapi
+        (fun i kind -> Ppp_core.Runner.flow_on ~core:i kind)
+        kinds
+    in
+    let solos =
+      List.map
+        (fun k -> (k, Ppp_core.Runner.solo ~params k))
+        (List.sort_uniq compare kinds)
+    in
+    let results = Ppp_core.Runner.run ~params specs in
+    let t =
+      Ppp_util.Table.create
+        ~title:"Co-run (one flow per core, data local, socket-filling order)"
+        [
+          "flow"; "core"; "pps"; "drop (%)"; "L3 refs/s (M)"; "L3 hits/s (M)";
+          "cycles/pkt"; "lat p50"; "lat p99";
+        ]
+    in
+    List.iter2
+      (fun kind (r : Ppp_hw.Engine.result) ->
+        let solo = List.assoc kind solos in
+        Ppp_util.Table.add_row t
+          [
+            Ppp_apps.App.name kind;
+            string_of_int r.Ppp_hw.Engine.core;
+            Printf.sprintf "%.0f" r.Ppp_hw.Engine.throughput_pps;
+            Printf.sprintf "%.2f"
+              (100.0 *. Ppp_core.Runner.drop ~solo ~corun:r);
+            Printf.sprintf "%.1f" (r.Ppp_hw.Engine.l3_refs_per_sec /. 1e6);
+            Printf.sprintf "%.1f" (r.Ppp_hw.Engine.l3_hits_per_sec /. 1e6);
+            Printf.sprintf "%.0f"
+              (float_of_int r.Ppp_hw.Engine.window_cycles
+              /. float_of_int (max 1 r.Ppp_hw.Engine.packets));
+            string_of_int
+              (Ppp_util.Histogram.percentile r.Ppp_hw.Engine.latency 50.0);
+            string_of_int
+              (Ppp_util.Histogram.percentile r.Ppp_hw.Engine.latency 99.0);
+          ])
+      kinds results;
+    Ppp_util.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "mix"
+       ~doc:"Co-run an ad-hoc set of flows (one per core) and report drops.")
+    Term.(const run $ params_term $ kinds)
+
+let predict_cmd =
+  let target = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in
+  let competitors = Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"COMPETITOR") in
+  let run params target competitors =
+    let t = List.hd (parse_kinds [ target ]) in
+    let cs = parse_kinds competitors in
+    let targets = List.sort_uniq compare (t :: cs) in
+    Printf.printf "profiling %d flow types offline...\n%!" (List.length targets);
+    let p = Ppp_core.Predictor.build ~params ~targets () in
+    let drop = Ppp_core.Predictor.predict_drop p ~target:t ~competitors:cs in
+    Printf.printf
+      "predicted drop of %s against [%s]: %.2f%% (predicted throughput %.0f \
+       pps)\n"
+      (Ppp_apps.App.name t)
+      (String.concat ", " (List.map Ppp_apps.App.name cs))
+      (100.0 *. drop)
+      (Ppp_core.Predictor.predict_throughput p ~target:t ~competitors:cs)
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Predict a target flow's contention-induced drop against a set of \
+          competitors using the paper's offline-profiling method.")
+    Term.(const run $ params_term $ target $ competitors)
+
+let capture_cmd =
+  let kind = Arg.(required & pos 0 (some string) None & info [] ~docv:"FLOW") in
+  let count =
+    Arg.(value & opt int 1000 & info [ "count"; "n" ] ~docv:"N" ~doc:"Packets to capture.")
+  in
+  let out =
+    Arg.(value & opt string "capture.pcap" & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output pcap.")
+  in
+  let run params name count out =
+    let kind = List.hd (parse_kinds [ name ]) in
+    let heap = Ppp_simmem.Heap.create ~node:0 in
+    let rng = Ppp_util.Rng.create ~seed:params.Ppp_core.Runner.seed in
+    let built =
+      Ppp_apps.App.build kind ~heap ~rng
+        ~scale:params.Ppp_core.Runner.config.Ppp_hw.Machine.scale
+    in
+    let cap = Ppp_traffic.Pcap.create () in
+    let pkt = Ppp_net.Packet.create 60 in
+    for _ = 1 to count do
+      built.Ppp_apps.App.gen pkt;
+      Ppp_traffic.Pcap.append cap pkt
+    done;
+    Ppp_traffic.Pcap.save cap out;
+    Printf.printf "wrote %d %s packets to %s\n" count
+      (Ppp_apps.App.name kind) out
+  in
+  Cmd.v
+    (Cmd.info "capture"
+       ~doc:
+         "Write a flow type's generated traffic to a standard pcap file \
+          (inspectable with tcpdump/wireshark; replayable with \
+          Ppp_traffic.Pcap.replay).")
+    Term.(const run $ params_term $ kind $ count $ out)
+
+let () =
+  let info =
+    Cmd.info "repro" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Toward Predictable Performance in Software \
+         Packet-Processing Platforms' (NSDI 2012)."
+  in
+  exit
+    (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; mix_cmd; predict_cmd; capture_cmd ]))

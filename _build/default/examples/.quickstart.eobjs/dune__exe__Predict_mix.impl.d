@@ -1,0 +1,1 @@
+examples/predict_mix.ml: Float List Ppp_apps Ppp_core Ppp_hw Ppp_util Predictor Printf Runner String

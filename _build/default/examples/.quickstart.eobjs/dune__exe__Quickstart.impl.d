@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Ppp_apps Ppp_click Ppp_hw Ppp_simmem Ppp_traffic Ppp_util Printf

@@ -1,0 +1,1 @@
+examples/scheduling_study.ml: List Ppp_apps Ppp_core Printf Runner Scheduler String

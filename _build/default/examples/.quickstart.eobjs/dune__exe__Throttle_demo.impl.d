@@ -1,0 +1,1 @@
+examples/throttle_demo.ml: Ppp_experiments Printf

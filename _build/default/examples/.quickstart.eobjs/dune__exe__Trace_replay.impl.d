@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Bytes Filename List Ppp_apps Ppp_click Ppp_hw Ppp_net Ppp_simmem Ppp_traffic Ppp_util Printf Sys

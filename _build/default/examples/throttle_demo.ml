@@ -1,0 +1,24 @@
+(* Containing hidden aggressiveness (paper Section 4).
+
+   A co-runner that behaved tamely during offline profiling switches to
+   maximum-rate memory scanning at run time, crushing a MON flow. A control
+   element throttling the co-runner's reference rate back to its profiled
+   budget restores the victim's expected performance.
+
+   Run with: dune exec examples/throttle_demo.exe *)
+
+let () =
+  let data = Ppp_experiments.Throttle_exp.measure () in
+  print_string (Ppp_experiments.Throttle_exp.render data);
+  let d = data in
+  let drop x =
+    100.0
+    *. (d.Ppp_experiments.Throttle_exp.victim_solo_pps -. x)
+    /. d.Ppp_experiments.Throttle_exp.victim_solo_pps
+  in
+  Printf.printf
+    "\nsummary: victim drop went %.1f%% (tame) -> %.1f%% (attack) -> %.1f%% \
+     (throttled)\n"
+    (drop d.Ppp_experiments.Throttle_exp.victim_with_tame_pps)
+    (drop d.Ppp_experiments.Throttle_exp.victim_with_loud_pps)
+    (drop d.Ppp_experiments.Throttle_exp.victim_with_throttled_pps)

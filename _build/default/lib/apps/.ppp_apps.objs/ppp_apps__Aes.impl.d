@@ -1,0 +1,1 @@
+lib/apps/aes.ml: Array Bytes Char String

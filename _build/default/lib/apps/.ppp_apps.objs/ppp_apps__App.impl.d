@@ -1,0 +1,1 @@
+lib/apps/app.ml: Char Config Dpi Element Firewall Flow Hashes Ip_elements List More_elements Nat Netflow Ppp_click Ppp_net Ppp_simmem Ppp_traffic Ppp_util Printf Radix_trie Re Rng Route_pool String

@@ -1,0 +1,1 @@
+lib/apps/app.mli: Ppp_click Ppp_simmem Ppp_util

@@ -1,0 +1,1 @@
+lib/apps/binary_trie.ml: Iarray Ip_elements Ppp_click Ppp_net Ppp_simmem

@@ -1,0 +1,1 @@
+lib/apps/binary_trie.mli: Ppp_click Ppp_hw Ppp_simmem

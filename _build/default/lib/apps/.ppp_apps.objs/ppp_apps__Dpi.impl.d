@@ -1,0 +1,1 @@
+lib/apps/dpi.ml: Array Bytes Char Iarray List Ppp_click Ppp_hw Ppp_net Ppp_simmem Queue String

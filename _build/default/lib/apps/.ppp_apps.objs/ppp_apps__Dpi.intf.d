@@ -1,0 +1,1 @@
+lib/apps/dpi.mli: Bytes Ppp_click Ppp_hw Ppp_simmem

@@ -1,0 +1,1 @@
+lib/apps/fingerprint_table.ml: Iarray Ppp_simmem Ppp_util

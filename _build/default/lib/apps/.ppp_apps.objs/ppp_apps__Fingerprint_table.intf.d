@@ -1,0 +1,1 @@
+lib/apps/fingerprint_table.mli: Ppp_hw Ppp_simmem

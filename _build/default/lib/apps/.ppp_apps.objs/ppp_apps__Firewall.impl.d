@@ -1,0 +1,1 @@
+lib/apps/firewall.ml: Array Iarray Ipv4 Ppp_hw Ppp_net Ppp_simmem Transport

@@ -1,0 +1,1 @@
+lib/apps/flow_cache.ml: Iarray Ip_elements Ppp_click Ppp_net Ppp_simmem Radix_trie

@@ -1,0 +1,1 @@
+lib/apps/flow_cache.mli: Ppp_click Ppp_simmem Radix_trie

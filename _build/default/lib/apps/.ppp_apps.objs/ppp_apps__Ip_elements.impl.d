@@ -1,0 +1,1 @@
+lib/apps/ip_elements.ml: Ctx Element Ppp_click Ppp_hw Ppp_net Ppp_simmem Radix_trie

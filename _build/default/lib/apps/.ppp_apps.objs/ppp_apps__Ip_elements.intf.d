@@ -1,0 +1,1 @@
+lib/apps/ip_elements.mli: Ppp_click Ppp_hw Ppp_simmem Radix_trie

@@ -1,0 +1,1 @@
+lib/apps/more_elements.ml: Aes Bytes Ctx Element Firewall Netflow Ppp_click Ppp_hw Ppp_net Ppp_simmem Ppp_util Re Sha256 String

@@ -1,0 +1,1 @@
+lib/apps/more_elements.mli: Firewall Netflow Ppp_click Ppp_hw Ppp_simmem Ppp_util Re

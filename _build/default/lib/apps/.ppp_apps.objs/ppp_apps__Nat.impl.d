@@ -1,0 +1,1 @@
+lib/apps/nat.ml: Checksum Hashtbl Iarray Ipv4 Packet Ppp_click Ppp_hw Ppp_net Ppp_simmem Ppp_util Transport

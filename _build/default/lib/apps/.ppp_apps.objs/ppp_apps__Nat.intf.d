@@ -1,0 +1,1 @@
+lib/apps/nat.mli: Ppp_click Ppp_hw Ppp_simmem

@@ -1,0 +1,1 @@
+lib/apps/netflow.ml: Iarray Ppp_net Ppp_simmem

@@ -1,0 +1,1 @@
+lib/apps/netflow.mli: Ppp_hw Ppp_net Ppp_simmem

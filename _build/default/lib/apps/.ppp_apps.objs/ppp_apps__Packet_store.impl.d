@@ -1,0 +1,1 @@
+lib/apps/packet_store.ml: Bytes Ibuf Ppp_simmem

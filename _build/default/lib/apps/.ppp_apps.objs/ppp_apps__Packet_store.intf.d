@@ -1,0 +1,1 @@
+lib/apps/packet_store.mli: Bytes Ppp_hw Ppp_simmem

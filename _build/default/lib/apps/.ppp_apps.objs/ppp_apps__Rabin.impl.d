@@ -1,0 +1,1 @@
+lib/apps/rabin.ml: Bytes Char

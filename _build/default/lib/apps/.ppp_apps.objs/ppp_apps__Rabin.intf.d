@@ -1,0 +1,1 @@
+lib/apps/rabin.mli: Bytes

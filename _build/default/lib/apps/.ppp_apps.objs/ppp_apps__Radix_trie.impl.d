@@ -1,0 +1,1 @@
+lib/apps/radix_trie.ml: Iarray Ppp_simmem

@@ -1,0 +1,1 @@
+lib/apps/radix_trie.mli: Ppp_hw Ppp_simmem

@@ -1,0 +1,1 @@
+lib/apps/re.ml: Bytes Char Fingerprint_table List Packet_store Ppp_hw Rabin

@@ -1,0 +1,1 @@
+lib/apps/re.mli: Bytes Ppp_hw Ppp_simmem

@@ -1,0 +1,1 @@
+lib/apps/route_pool.ml: Array Ppp_traffic Ppp_util Radix_trie

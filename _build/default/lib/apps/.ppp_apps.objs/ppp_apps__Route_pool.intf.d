@@ -1,0 +1,1 @@
+lib/apps/route_pool.mli: Ppp_util Radix_trie

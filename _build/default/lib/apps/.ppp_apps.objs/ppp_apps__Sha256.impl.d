@@ -1,0 +1,1 @@
+lib/apps/sha256.ml: Array Bytes Char List Printf String

@@ -1,0 +1,1 @@
+lib/apps/sha256.mli: Bytes

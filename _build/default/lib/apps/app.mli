@@ -1,0 +1,75 @@
+(** The application catalogue: the paper's five realistic packet-processing
+    flow types (Section 2.1) plus the SYN synthetic profiler, each bundled
+    with the adversarial traffic generator the paper pairs it with.
+
+    All sizes are the paper's, divided by the machine's [scale] factor so
+    footprint-to-cache ratios are preserved on scaled-down configurations:
+
+    - IP: full forwarding over a 131072/scale-route table, random routed
+      destinations.
+    - MON: IP + NetFlow over 100000/scale flows.
+    - FW: MON + 1000-rule sequential firewall; traffic never matches, so
+      every packet scans all rules.
+    - RE: MON + redundancy elimination (32MB/scale packet store,
+      4M/scale-entry fingerprint table), 60%-redundant 1KB packets.
+    - VPN: MON + AES-128-CTR encryption of 576-byte packets.
+    - DPI (extension): MON + multi-pattern payload inspection over an
+      automaton sized like the paper's Section-6 discussion.
+    - SYN: configurable compute + random reads over an L3-sized buffer. *)
+
+type syn_params = { reads : int; instrs : int }
+
+type kind =
+  | IP
+  | MON
+  | FW
+  | RE
+  | VPN
+  | DPI  (** extension: MON + Aho-Corasick inspection (Section 6's "emerging"
+             deep-packet-inspection type; not part of the paper's five) *)
+  | SYN of syn_params
+
+val syn_max : kind
+(** The most aggressive synthetic flow: memory accesses at the highest
+    possible rate, no other processing. *)
+
+val realistic : kind list
+(** [IP; MON; FW; RE; VPN]. *)
+
+val name : kind -> string
+val of_name : string -> kind option
+(** Recognizes "IP" "MON" "FW" "RE" "VPN" "SYN_MAX" and "SYN:<reads>:<instrs>". *)
+
+type built = {
+  elements : Ppp_click.Element.t list;
+  gen : Ppp_click.Flow.generator;
+  config : string;  (** the equivalent Click-language chain *)
+}
+
+val build :
+  kind -> heap:Ppp_simmem.Heap.t -> rng:Ppp_util.Rng.t -> scale:int -> built
+(** Instantiates the application's elements (state allocated on [heap]) and
+    its traffic generator. Deterministic given the rng state. *)
+
+val flow :
+  kind ->
+  heap:Ppp_simmem.Heap.t ->
+  rng:Ppp_util.Rng.t ->
+  scale:int ->
+  ?label:string ->
+  unit ->
+  Ppp_click.Flow.t
+(** Convenience: [build] wrapped into a {!Ppp_click.Flow}. *)
+
+val wire_len : kind -> int
+(** The workload's packet size on the wire. *)
+
+val working_set_bytes : kind -> scale:int -> int
+(** Rough estimate of the flow's cacheable data footprint (hot trie levels,
+    flow table, rules, RE structures, SYN buffer) — the [W] parameter of the
+    Appendix-A cache model. *)
+
+val register_all : unit -> unit
+(** Registers every element class in {!Ppp_click.Config.Registry}
+    (CheckIPHeader, RadixIPLookup, DecIPTTL, FlowStats, Firewall, REEncode,
+    VPNEncrypt, Syn). Idempotent. *)

@@ -1,0 +1,25 @@
+(** Baseline LPM: a one-bit-per-level binary trie (no path compression),
+    after the original Click RadixTrie. Lookups walk up to 32 nodes — many
+    more memory references per packet than the multibit {!Radix_trie} — so
+    it serves as the memory-hungry baseline in lookup-algorithm ablations.
+
+    Same semantics as {!Radix_trie}: longest prefix wins, equal-length later
+    routes overwrite, hop 0 means "no route". *)
+
+type t
+
+val create :
+  heap:Ppp_simmem.Heap.t -> ?max_nodes:int -> default_hop:int -> unit -> t
+(** [max_nodes] bounds trie nodes (default 262144; one per distinct prefix
+    bit-path). *)
+
+val add_route : t -> prefix:int -> plen:int -> hop:int -> unit
+val lookup : t -> Ppp_hw.Trace.Builder.t -> fn:Ppp_hw.Fn.t -> int -> int
+val lookup_quiet : t -> int -> int
+val routes : t -> int
+val nodes : t -> int
+val footprint_bytes : t -> int
+
+val element : t -> Ppp_click.Element.t
+(** A RadixIPLookup-compatible element backed by this trie (kind
+    "BinaryIPLookup"). *)

@@ -1,0 +1,62 @@
+open Ppp_simmem
+
+(* Slot packing: bits 0-15 hop, bits 16-57 the full 42-bit key (slot value
+   0 = empty; keys are never zero). *)
+type t = {
+  slots : int Iarray.t;
+  mask : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let rec pow2 n v = if v >= n then v else pow2 n (v * 2)
+
+let create ~heap ~entries =
+  if entries <= 0 then invalid_arg "Flow_cache.create";
+  let cap = pow2 entries 16 in
+  { slots = Iarray.create heap ~elem_bytes:16 cap 0; mask = cap - 1; hits = 0; misses = 0 }
+
+let capacity t = t.mask + 1
+let hits t = t.hits
+let misses t = t.misses
+
+let key_of pkt =
+  let h = Ppp_net.Flowid.hash (Ppp_net.Flowid.of_packet pkt) in
+  let key = (h lsr 16) land 0x3FFFFFFFFFF in
+  (* Never zero: zero marks an empty slot. *)
+  if key = 0 then 1 else key
+
+let fn = Ip_elements.fn_radix_ip_lookup
+
+let lookup_element t ~trie ?hop_table () =
+  Ppp_click.Element.make ~kind:"CachedIPLookup" (fun ctx pkt ->
+      let b = ctx.Ppp_click.Ctx.builder in
+      let key = key_of pkt in
+      let idx = key land t.mask in
+      let slot = Iarray.get t.slots b ~fn idx in
+      Ppp_click.Ctx.compute ctx ~fn 12;
+      let hop =
+        if slot lsr 16 = key && slot <> 0 then begin
+          t.hits <- t.hits + 1;
+          slot land 0xFFFF
+        end
+        else begin
+          t.misses <- t.misses + 1;
+          let hop = Radix_trie.lookup trie b ~fn (Ppp_net.Ipv4.dst pkt) in
+          (match hop_table with
+          | Some table when hop > 0 ->
+              ignore
+                (Iarray.get table b ~fn ((hop - 1) mod Iarray.length table)
+                  : int)
+          | _ -> ());
+          if hop > 0 then
+            Iarray.set t.slots b ~fn idx ((key lsl 16) lor (hop land 0xFFFF));
+          hop
+        end
+      in
+      if hop = 0 then Ppp_click.Element.Drop
+      else begin
+        Ppp_net.Packet.set8 pkt 0 (hop land 0xFF);
+        Ppp_click.Ctx.touch_packet ctx pkt ~fn ~write:true ~pos:0 ~len:1;
+        Ppp_click.Element.Forward
+      end)

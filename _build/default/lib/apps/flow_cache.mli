@@ -1,0 +1,26 @@
+(** An exact-match flow cache in front of the longest-prefix-match lookup —
+    the classic software fast path (Click's lookup caches, OpenFlow-style
+    microflow caches).
+
+    Each entry maps a 5-tuple hash to a next hop; hits skip the trie walk
+    entirely. Under cache contention the flow cache's own lines get evicted,
+    so its benefit shrinks exactly when the trie walk gets more expensive —
+    a nice illustration of why fast paths do not rescue co-run performance. *)
+
+type t
+
+val create : heap:Ppp_simmem.Heap.t -> entries:int -> t
+(** Direct-mapped; [entries] rounded up to a power of two, 16 simulated
+    bytes each. *)
+
+val capacity : t -> int
+val hits : t -> int
+val misses : t -> int
+
+val lookup_element :
+  t -> trie:Radix_trie.t -> ?hop_table:int Ppp_simmem.Iarray.t -> unit ->
+  Ppp_click.Element.t
+(** A drop-in replacement for RadixIPLookup: probes the flow cache first,
+    falls back to the trie + next-hop table on a miss and fills the cache.
+    Semantics identical to {!Ip_elements.radix_ip_lookup} (drops unrouted
+    packets, annotates the egress port). *)

@@ -1,0 +1,99 @@
+open Ppp_simmem
+
+let fn_nat = Ppp_hw.Fn.register "nat"
+
+(* Translation slot: bits 0-15 public port (0 = empty), 16-47 original
+   address, 48-61 original port's low 14 bits... ports need 16 bits, so use
+   two parallel entries packed into one 16-byte element instead: the Iarray
+   element is a tuple. *)
+type entry = { key_addr : int; key_port : int; public_port : int }
+
+type t = {
+  table : entry option Iarray.t; (* keyed by hash of (addr, port) *)
+  by_port : (int, int * int) Hashtbl.t; (* public port -> original pair *)
+  mask : int;
+  public_ip : int;
+  mutable next_port : int;
+  mutable active : int;
+  mutable translations : int;
+}
+
+let rec pow2 n v = if v >= n then v else pow2 n (v * 2)
+
+let create ~heap ~public_ip ?(max_entries = 16384) () =
+  if max_entries <= 0 then invalid_arg "Nat.create";
+  let cap = pow2 max_entries 16 in
+  {
+    table = Iarray.create heap ~elem_bytes:16 cap None;
+    by_port = Hashtbl.create 256;
+    mask = cap - 1;
+    public_ip;
+    next_port = 1024;
+    active = 0;
+    translations = 0;
+  }
+
+let active t = t.active
+let translations t = t.translations
+
+let index t addr port =
+  Ppp_util.Hashes.fnv1a_int ((addr lsl 16) lor port) land t.mask
+
+let max_probes = 8
+
+(* Find or allocate the mapping for (addr, port); instrumented probes. *)
+let mapping t b addr port =
+  let h = index t addr port in
+  let rec probe i =
+    if i >= max_probes then None
+    else
+      let idx = (h + i) land t.mask in
+      match Iarray.get t.table b ~fn:fn_nat idx with
+      | Some e when e.key_addr = addr && e.key_port = port ->
+          Some e.public_port
+      | Some _ -> probe (i + 1)
+      | None ->
+          if t.next_port > 0xFFFF then None
+          else begin
+            let public_port = t.next_port in
+            t.next_port <- t.next_port + 1;
+            Iarray.set t.table b ~fn:fn_nat idx
+              (Some { key_addr = addr; key_port = port; public_port });
+            Hashtbl.replace t.by_port public_port (addr, port);
+            t.active <- t.active + 1;
+            Some public_port
+          end
+  in
+  probe 0
+
+let lookup_reverse t ~public_port = Hashtbl.find_opt t.by_port public_port
+
+let outbound_element t =
+  Ppp_click.Element.make ~kind:"SourceNAT" (fun ctx pkt ->
+      let open Ppp_net in
+      let b = ctx.Ppp_click.Ctx.builder in
+      let src = Ipv4.src pkt and sport = Transport.src_port pkt in
+      Ppp_click.Ctx.compute ctx ~fn:fn_nat 30;
+      match mapping t b src sport with
+      | None -> Ppp_click.Element.Drop
+      | Some public_port ->
+          (* Rewrite source address (incremental checksum fix). *)
+          let o = Ipv4.header_offset in
+          let fix16 pos new16 =
+            let old16 = Packet.get16 pkt pos in
+            if old16 <> new16 then begin
+              let c =
+                Checksum.incremental_update
+                  ~old_checksum:(Ipv4.header_checksum pkt) ~old16 ~new16
+              in
+              Packet.set16 pkt pos new16;
+              Packet.set16 pkt (o + 10) c
+            end
+          in
+          fix16 (o + 12) (t.public_ip lsr 16);
+          fix16 (o + 14) (t.public_ip land 0xFFFF);
+          Packet.set16 pkt Transport.header_offset public_port;
+          Ppp_click.Ctx.touch_packet ctx pkt ~fn:fn_nat ~write:true ~pos:(o + 10)
+            ~len:8;
+          t.translations <- t.translations + 1;
+          Ppp_click.Element.Forward)

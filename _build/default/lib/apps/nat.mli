@@ -1,0 +1,31 @@
+(** Source NAT — the classic middlebox the paper's introduction motivates
+    (dynamic middlebox consolidation, Sekar et al. [25]).
+
+    Outbound packets have their (source address, source port) rewritten to
+    (public address, allocated port); the translation table is a cacheable
+    per-connection structure like NetFlow's, probed once per packet. Header
+    rewrites use RFC 1624 incremental checksum updates, so translated
+    packets remain valid. A reverse lookup supports translating return
+    traffic. *)
+
+type t
+
+val create :
+  heap:Ppp_simmem.Heap.t -> public_ip:int -> ?max_entries:int -> unit -> t
+(** [max_entries] (default 16384, rounded to a power of two) bounds active
+    translations; allocation fails (packet dropped) when full. Ports are
+    allocated from 1024 upward. *)
+
+val active : t -> int
+val translations : t -> int
+(** Total outbound packets translated. *)
+
+val fn_nat : Ppp_hw.Fn.t
+
+val outbound_element : t -> Ppp_click.Element.t
+(** Rewrites src address/port, fixing the IP checksum incrementally. Drops
+    packets when the port space / table is exhausted. *)
+
+val lookup_reverse : t -> public_port:int -> (int * int) option
+(** The (original address, original port) behind an allocated public port —
+    what the inbound path would use. *)

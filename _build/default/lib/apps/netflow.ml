@@ -1,0 +1,78 @@
+open Ppp_simmem
+
+type entry = {
+  key : Ppp_net.Flowid.t;
+  packets : int;
+  bytes : int;
+  last_seen : int;
+}
+
+type slot = Empty | Full of entry
+
+type t = {
+  table : slot Iarray.t;
+  mask : int;
+  mutable active : int;
+  mutable evictions : int;
+}
+
+let rec pow2 n v = if v >= n then v else pow2 n (v * 2)
+
+let create ~heap ~entries =
+  if entries <= 0 then invalid_arg "Netflow.create: entries";
+  let cap = pow2 entries 16 in
+  {
+    table = Iarray.create heap ~elem_bytes:64 cap Empty;
+    mask = cap - 1;
+    active = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.mask + 1
+let active_flows t = t.active
+let evictions t = t.evictions
+let max_probes = 8
+
+let update t b ~fn pkt ~now =
+  let key = Ppp_net.Flowid.of_packet pkt in
+  let h = Ppp_net.Flowid.hash key land t.mask in
+  let bytes = pkt.Ppp_net.Packet.len in
+  let rec probe i =
+    let idx = (h + i) land t.mask in
+    match Iarray.get t.table b ~fn idx with
+    | Empty ->
+        Iarray.set t.table b ~fn idx
+          (Full { key; packets = 1; bytes; last_seen = now });
+        t.active <- t.active + 1
+    | Full e when Ppp_net.Flowid.equal e.key key ->
+        Iarray.set t.table b ~fn idx
+          (Full
+             {
+               e with
+               packets = e.packets + 1;
+               bytes = e.bytes + bytes;
+               last_seen = now;
+             })
+    | Full _ ->
+        if i + 1 >= max_probes || t.active > (t.mask + 1) * 15 / 16 then begin
+          (* Evict the colliding flow (fixed-size collector behaviour). *)
+          Iarray.set t.table b ~fn idx
+            (Full { key; packets = 1; bytes; last_seen = now });
+          t.evictions <- t.evictions + 1
+        end
+        else probe (i + 1)
+  in
+  probe 0
+
+let find t key =
+  let h = Ppp_net.Flowid.hash key land t.mask in
+  let rec probe i =
+    if i >= max_probes then None
+    else
+      let idx = (h + i) land t.mask in
+      match Iarray.peek t.table idx with
+      | Empty -> None
+      | Full e when Ppp_net.Flowid.equal e.key key -> Some e
+      | Full _ -> probe (i + 1)
+  in
+  probe 0

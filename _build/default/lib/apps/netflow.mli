@@ -1,0 +1,34 @@
+(** NetFlow-style per-flow statistics (the paper's MON add-on, Section 2.1).
+
+    A hash table of per-TCP/UDP-flow entries: each packet hashes its 5-tuple,
+    probes the table (open addressing, linear probing) and updates a packet
+    count, byte count and last-seen timestamp. The table is the cacheable
+    data structure that makes MON the paper's most contention-sensitive
+    flow type. *)
+
+type t
+
+type entry = {
+  key : Ppp_net.Flowid.t;
+  packets : int;
+  bytes : int;
+  last_seen : int;
+}
+
+val create : heap:Ppp_simmem.Heap.t -> entries:int -> t
+(** [entries] is rounded up to a power of two. Each entry occupies 64
+    simulated bytes (one cache line, as a padded C struct would). *)
+
+val update :
+  t -> Ppp_hw.Trace.Builder.t -> fn:Ppp_hw.Fn.t -> Ppp_net.Packet.t ->
+  now:int -> unit
+(** Account one packet: probes instrumented memory and updates (or inserts)
+    the flow's entry. When the table is critically full (> 15/16), the probed
+    bucket is overwritten (flow eviction, as fixed-size collectors do). *)
+
+val find : t -> Ppp_net.Flowid.t -> entry option
+(** Un-instrumented lookup for verification. *)
+
+val active_flows : t -> int
+val capacity : t -> int
+val evictions : t -> int

@@ -1,0 +1,41 @@
+let window = 32
+
+(* Mersenne prime 2^31 - 1: operand products fit in OCaml's 63-bit ints, so
+   modular arithmetic needs no splitting. Fingerprints are 31 bits; matches
+   are verified byte-for-byte, so collisions only cost a failed probe. *)
+let modulus = (1 lsl 31) - 1
+let base = 263
+
+let mulmod a b = a * b mod modulus
+
+type state = { fp : int }
+
+(* base^(window-1) mod p, for removing the outgoing byte. *)
+let top_coeff =
+  let rec go acc n = if n = 0 then acc else go (mulmod acc base) (n - 1) in
+  go 1 (window - 1)
+
+let addmod a b =
+  let s = a + b in
+  if s >= modulus then s - modulus else s
+
+let submod a b = if a >= b then a - b else a + modulus - b
+
+let init b ~pos =
+  if pos < 0 || pos + window > Bytes.length b then invalid_arg "Rabin.init";
+  let fp = ref 0 in
+  for i = pos to pos + window - 1 do
+    fp := addmod (mulmod !fp base) (Char.code (Bytes.get b i) + 1)
+  done;
+  { fp = !fp }
+
+let roll st b ~pos =
+  if pos < 1 || pos + window > Bytes.length b then invalid_arg "Rabin.roll";
+  let outgoing = Char.code (Bytes.get b (pos - 1)) + 1 in
+  let incoming = Char.code (Bytes.get b (pos + window - 1)) + 1 in
+  let fp = submod st.fp (mulmod outgoing top_coeff) in
+  { fp = addmod (mulmod fp base) incoming }
+
+let value st = st.fp
+let fingerprint b ~pos = value (init b ~pos)
+let is_sample fp ~mask = fp land mask = 0

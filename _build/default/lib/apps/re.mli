@@ -1,0 +1,45 @@
+(** Protocol-independent redundancy elimination (Spring & Wetherall [26]) —
+    the paper's RE application.
+
+    An endpoint keeps a {!Packet_store} of recent payload bytes and a
+    {!Fingerprint_table} from sampled Rabin fingerprints to store offsets.
+    [encode] replaces payload regions already present in the store with
+    9-byte tokens; [decode] at the peer endpoint expands tokens from its own
+    (synchronized) store. Both sides append the original payload and insert
+    its sampled fingerprints, so the two stores evolve identically. *)
+
+type t
+
+val create :
+  heap:Ppp_simmem.Heap.t ->
+  store_bytes:int ->
+  table_entries:int ->
+  ?sample_mask:int ->
+  unit ->
+  t
+(** [sample_mask] (default 31) samples fingerprints whose low bits vanish,
+    i.e. one position in ~32 on average. *)
+
+type stats = {
+  packets : int;
+  bytes_in : int;
+  bytes_out : int;
+  matches : int;
+  match_bytes : int;
+}
+
+val stats : t -> stats
+
+val encode :
+  t -> Ppp_hw.Trace.Builder.t -> fn:Ppp_hw.Fn.t -> Bytes.t -> pos:int ->
+  len:int -> out:Bytes.t -> int
+(** Encodes the payload [pos, pos+len) of the input into [out] (from offset
+    0), returning the encoded length; updates store and table. [out] must
+    hold at least [2 * len + 16] bytes (worst-case escaping). *)
+
+val decode :
+  t -> Ppp_hw.Trace.Builder.t -> fn:Ppp_hw.Fn.t -> Bytes.t -> pos:int ->
+  len:int -> out:Bytes.t -> int
+(** Decodes an encoded payload, returning the decoded length, and updates
+    store/table exactly as the encoder did. Raises [Failure] on a malformed
+    stream or a reference to evicted store content. *)

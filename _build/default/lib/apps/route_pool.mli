@@ -1,0 +1,28 @@
+(** A reproducible set of IPv4 routes plus matching destination traffic.
+
+    The paper drives IP forwarding with random destination addresses over a
+    128000-entry table. The pool draws routes from a bounded set of /16
+    blocks (as real tables do) so the trie footprint is controlled, and
+    generates destinations covered by those routes with Zipf-distributed
+    route popularity. *)
+
+type t
+
+val make : seed:int -> n16:int -> routes:int -> t
+(** Deterministic in [seed]: the same parameters always give the same routes
+    (so separately built generators and tables agree). *)
+
+val routes : t -> (int * int * int) array
+(** (prefix, plen, hop) triples; hops are in [1, 255]. *)
+
+val install : t -> Radix_trie.t -> unit
+
+val suggested_max_nodes : n16:int -> routes:int -> int
+(** Trie node-pool size sufficient for a pool with these parameters. *)
+
+val random_dst : t -> Ppp_util.Rng.t -> int
+(** A destination covered by a Zipf-popular route, random within the
+    prefix's host bits. *)
+
+val dst_of_flow : t -> int -> int
+(** Deterministic destination for a flow index (stable 5-tuples). *)

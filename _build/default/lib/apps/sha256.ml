@@ -1,0 +1,123 @@
+(* FIPS 180-4 SHA-256 over 32-bit words (carried in OCaml ints, masked). *)
+
+let mask = 0xFFFFFFFF
+
+let k =
+  [|
+    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+    0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+    0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+    0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+    0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+    0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+    0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+    0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+    0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+    0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+    0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
+  |]
+
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+type state = { h : int array }
+
+let init () =
+  {
+    h =
+      [|
+        0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+        0x9b05688c; 0x1f83d9ab; 0x5be0cd19;
+      |];
+  }
+
+let compress st block pos =
+  let w = Array.make 64 0 in
+  for i = 0 to 15 do
+    w.(i) <-
+      (Char.code (Bytes.get block (pos + (4 * i))) lsl 24)
+      lor (Char.code (Bytes.get block (pos + (4 * i) + 1)) lsl 16)
+      lor (Char.code (Bytes.get block (pos + (4 * i) + 2)) lsl 8)
+      lor Char.code (Bytes.get block (pos + (4 * i) + 3))
+  done;
+  for i = 16 to 63 do
+    let s0 = rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3) in
+    let s1 = rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10) in
+    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+  done;
+  let a = ref st.h.(0) and b = ref st.h.(1) and c = ref st.h.(2) in
+  let d = ref st.h.(3) and e = ref st.h.(4) and f = ref st.h.(5) in
+  let g = ref st.h.(6) and hh = ref st.h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = (!e land !f) lxor (lnot !e land !g) in
+    let temp1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let temp2 = (s0 + maj) land mask in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := (!d + temp1) land mask;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (temp1 + temp2) land mask
+  done;
+  st.h.(0) <- (st.h.(0) + !a) land mask;
+  st.h.(1) <- (st.h.(1) + !b) land mask;
+  st.h.(2) <- (st.h.(2) + !c) land mask;
+  st.h.(3) <- (st.h.(3) + !d) land mask;
+  st.h.(4) <- (st.h.(4) + !e) land mask;
+  st.h.(5) <- (st.h.(5) + !f) land mask;
+  st.h.(6) <- (st.h.(6) + !g) land mask;
+  st.h.(7) <- (st.h.(7) + !hh) land mask
+
+let digest b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Sha256.digest: range";
+  let st = init () in
+  (* Full blocks straight from the input. *)
+  let full = len / 64 in
+  for blk = 0 to full - 1 do
+    compress st b (pos + (64 * blk))
+  done;
+  (* Padding: remainder + 0x80 + zeros + 64-bit bit length. *)
+  let rem = len - (full * 64) in
+  let tail = Bytes.make (if rem < 56 then 64 else 128) '\000' in
+  Bytes.blit b (pos + (full * 64)) tail 0 rem;
+  Bytes.set tail rem '\x80';
+  let bits = len * 8 in
+  let tl = Bytes.length tail in
+  for i = 0 to 7 do
+    Bytes.set tail (tl - 1 - i) (Char.chr ((bits lsr (8 * i)) land 0xFF))
+  done;
+  compress st tail 0;
+  if tl = 128 then compress st tail 64;
+  String.init 32 (fun i ->
+      Char.chr ((st.h.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xFF))
+
+let digest_string s = digest (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let hex_of d =
+  String.concat "" (List.init (String.length d) (fun i -> Printf.sprintf "%02x" (Char.code d.[i])))
+
+let block_size = 64
+
+let hmac ~key b ~pos ~len =
+  let key = if String.length key > block_size then digest_string key else key in
+  let pad c =
+    String.init block_size (fun i ->
+        let kb = if i < String.length key then Char.code key.[i] else 0 in
+        Char.chr (kb lxor c))
+  in
+  let inner = Bytes.create (block_size + len) in
+  Bytes.blit_string (pad 0x36) 0 inner 0 block_size;
+  Bytes.blit b pos inner block_size len;
+  let ih = digest inner ~pos:0 ~len:(Bytes.length inner) in
+  let outer = Bytes.create (block_size + 32) in
+  Bytes.blit_string (pad 0x5c) 0 outer 0 block_size;
+  Bytes.blit_string ih 0 outer block_size 32;
+  digest outer ~pos:0 ~len:(Bytes.length outer)
+
+let hmac_string ~key s =
+  hmac ~key (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

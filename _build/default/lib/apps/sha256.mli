@@ -1,0 +1,16 @@
+(** SHA-256 and HMAC-SHA256 (FIPS 180-4 / RFC 2104), implemented from
+    scratch. Used for the authenticated-VPN extension (encrypt-then-MAC) and
+    validated against the NIST test vectors in the test suite. *)
+
+val digest : Bytes.t -> pos:int -> len:int -> string
+(** 32-byte digest of a byte range. *)
+
+val digest_string : string -> string
+
+val hex_of : string -> string
+(** Lowercase hex of a digest. *)
+
+val hmac : key:string -> Bytes.t -> pos:int -> len:int -> string
+(** 32-byte HMAC-SHA256 tag. Keys longer than 64 bytes are hashed first. *)
+
+val hmac_string : key:string -> string -> string

@@ -1,0 +1,1 @@
+lib/click/config.ml: Buffer Element Hashtbl List Ppp_simmem Ppp_util Printf String

@@ -1,0 +1,1 @@
+lib/click/config.mli: Element Ppp_simmem Ppp_util

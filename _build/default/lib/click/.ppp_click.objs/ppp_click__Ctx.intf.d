@@ -1,0 +1,1 @@
+lib/click/ctx.mli: Ppp_hw Ppp_net Ppp_util

@@ -1,0 +1,1 @@
+lib/click/element.ml: Ctx Ppp_net

@@ -1,0 +1,1 @@
+lib/click/element.mli: Ctx Ppp_net

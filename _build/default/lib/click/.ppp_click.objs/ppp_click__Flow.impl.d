@@ -1,0 +1,1 @@
+lib/click/flow.ml: Builder Ctx Element Heap Iarray Ppp_hw Ppp_net Ppp_simmem

@@ -1,0 +1,1 @@
+lib/click/flow.mli: Element Ppp_hw Ppp_net Ppp_simmem Ppp_util

@@ -1,0 +1,1 @@
+lib/click/multiplex.ml: Array List

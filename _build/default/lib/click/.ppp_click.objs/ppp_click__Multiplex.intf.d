@@ -1,0 +1,1 @@
+lib/click/multiplex.mli: Ppp_hw

@@ -1,0 +1,1 @@
+lib/click/staged.ml: Array Builder Ctx Element Flow Heap Iarray List Ppp_hw Ppp_net Ppp_simmem Ppp_util Queue

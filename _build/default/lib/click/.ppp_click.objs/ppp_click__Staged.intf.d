@@ -1,0 +1,1 @@
+lib/click/staged.mli: Element Flow Ppp_hw Ppp_simmem Ppp_util

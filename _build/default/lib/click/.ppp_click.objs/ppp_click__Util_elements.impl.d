@@ -1,0 +1,1 @@
+lib/click/util_elements.ml: Ctx Element Ppp_hw Ppp_net Ppp_simmem

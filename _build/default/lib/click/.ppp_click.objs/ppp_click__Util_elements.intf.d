@@ -1,0 +1,1 @@
+lib/click/util_elements.mli: Element Ppp_hw Ppp_simmem

@@ -1,0 +1,109 @@
+type decl = { kind : string; args : string list }
+
+let strip_comments s =
+  String.split_on_char '\n' s
+  |> List.map (fun row ->
+         match String.index_opt row '/' with
+         | Some i when i + 1 < String.length row && row.[i + 1] = '/' ->
+             String.sub row 0 i
+         | _ -> row)
+  |> String.concat "\n"
+
+let split_arrows s =
+  (* Split on "->" at top level (no nesting in this language). *)
+  let parts = ref [] and buf = Buffer.create 32 in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && s.[!i] = '-' && s.[!i + 1] = '>' then begin
+      parts := Buffer.contents buf :: !parts;
+      Buffer.clear buf;
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  parts := Buffer.contents buf :: !parts;
+  List.rev !parts
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let parse_item raw =
+  let s = String.trim raw in
+  if s = "" then Error "empty element in chain"
+  else
+    match String.index_opt s '(' with
+    | None ->
+        if String.for_all is_ident_char s then Ok { kind = s; args = [] }
+        else Error (Printf.sprintf "malformed element %S" s)
+    | Some lp ->
+        let kind = String.trim (String.sub s 0 lp) in
+        if kind = "" || not (String.for_all is_ident_char kind) then
+          Error (Printf.sprintf "malformed element name in %S" s)
+        else if s.[String.length s - 1] <> ')' then
+          Error (Printf.sprintf "missing ')' in %S" s)
+        else
+          let inner = String.sub s (lp + 1) (String.length s - lp - 2) in
+          let args =
+            if String.trim inner = "" then []
+            else String.split_on_char ',' inner |> List.map String.trim
+          in
+          if List.exists (fun a -> a = "") args then
+            Error (Printf.sprintf "empty argument in %S" s)
+          else Ok { kind; args }
+
+let parse s =
+  let s = strip_comments s in
+  let items = split_arrows s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest -> (
+        match parse_item item with
+        | Ok d -> go (d :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] items
+
+let to_string decls =
+  decls
+  |> List.map (fun d ->
+         if d.args = [] then d.kind
+         else Printf.sprintf "%s(%s)" d.kind (String.concat ", " d.args))
+  |> String.concat " -> "
+
+module Registry = struct
+  type build_ctx = {
+    heap : Ppp_simmem.Heap.t;
+    rng : Ppp_util.Rng.t;
+    scale : int;
+  }
+
+  type builder = build_ctx -> string list -> Element.t
+
+  let builders : (string, builder) Hashtbl.t = Hashtbl.create 32
+  let register kind f = Hashtbl.replace builders kind f
+  let known () = Hashtbl.fold (fun k _ acc -> k :: acc) builders [] |> List.sort compare
+
+  let build ctx decl =
+    match Hashtbl.find_opt builders decl.kind with
+    | None -> Error (Printf.sprintf "unknown element class %S" decl.kind)
+    | Some f -> (
+        try Ok (f ctx decl.args)
+        with Invalid_argument m | Failure m ->
+          Error (Printf.sprintf "%s: %s" decl.kind m))
+end
+
+let instantiate ctx decls =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | { kind = "FromDevice" | "ToDevice"; _ } :: rest -> go acc rest
+    | d :: rest -> (
+        match Registry.build ctx d with
+        | Ok e -> go (e :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] decls

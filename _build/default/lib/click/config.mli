@@ -1,0 +1,40 @@
+(** A tiny Click-style configuration language.
+
+    A flow is written as a chain of element instantiations:
+
+    {v FromDevice(0) -> CheckIPHeader -> RadixIPLookup(16384) ->
+       DecIPTTL -> Flowstats(20000) -> ToDevice(0) v}
+
+    Element classes are resolved through a {!Registry} that application
+    libraries populate. Arguments are positional strings. *)
+
+type decl = { kind : string; args : string list }
+
+val parse : string -> (decl list, string) result
+(** Splits a chain on ["->"], parsing [Kind] or [Kind(a, b, ...)] items.
+    Whitespace and newlines are insignificant; [//] starts a line comment. *)
+
+val to_string : decl list -> string
+
+(** Element-class registry. *)
+module Registry : sig
+  type build_ctx = {
+    heap : Ppp_simmem.Heap.t;
+    rng : Ppp_util.Rng.t;
+    scale : int;  (** machine working-set divisor (Machine.config.scale) *)
+  }
+
+  type builder = build_ctx -> string list -> Element.t
+
+  val register : string -> builder -> unit
+  (** Re-registering a kind replaces the previous builder. *)
+
+  val known : unit -> string list
+
+  val build : build_ctx -> decl -> (Element.t, string) result
+end
+
+val instantiate :
+  Registry.build_ctx -> decl list -> (Element.t list, string) result
+(** Builds every element in the chain. [FromDevice]/[ToDevice] declarations
+    are accepted and skipped (flows provide device endpoints themselves). *)

@@ -1,0 +1,19 @@
+type t = { builder : Ppp_hw.Trace.Builder.t; rng : Ppp_util.Rng.t }
+
+let create ~rng = { builder = Ppp_hw.Trace.Builder.create (); rng }
+let compute t ~fn n = Ppp_hw.Trace.Builder.compute t.builder ~fn n
+let read t ~fn addr = Ppp_hw.Trace.Builder.read t.builder ~fn addr
+let write t ~fn addr = Ppp_hw.Trace.Builder.write t.builder ~fn addr
+
+let line = 64
+
+let touch_packet t pkt ~fn ~write ~pos ~len =
+  let base = pkt.Ppp_net.Packet.buf_addr in
+  if base <> 0 && len > 0 then begin
+    let first = (base + pos) / line and last = (base + pos + len - 1) / line in
+    for l = first to last do
+      let addr = l * line in
+      if write then Ppp_hw.Trace.Builder.write t.builder ~fn addr
+      else Ppp_hw.Trace.Builder.read t.builder ~fn addr
+    done
+  end

@@ -1,0 +1,20 @@
+(** Packet-processing elements, in the style of the Click modular router.
+
+    An element transforms a packet in place and issues its compute and memory
+    operations through the {!Ctx}. Elements are instantiated with their state
+    captured in the [process] closure, so one element instance belongs to one
+    flow (the paper replicates per-flow state across cores/NUMA domains —
+    Section 2.2). *)
+
+type verdict = Forward | Drop
+
+type t = {
+  kind : string;  (** the element class name, e.g. "RadixIPLookup" *)
+  name : string;  (** instance label *)
+  process : Ctx.t -> Ppp_net.Packet.t -> verdict;
+}
+
+val make : kind:string -> ?name:string -> (Ctx.t -> Ppp_net.Packet.t -> verdict) -> t
+
+val process_all : t list -> Ctx.t -> Ppp_net.Packet.t -> verdict
+(** Push the packet through the chain; stops at the first [Drop]. *)

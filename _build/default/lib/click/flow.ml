@@ -1,0 +1,99 @@
+type generator = Ppp_net.Packet.t -> unit
+
+let fn_from_device = Ppp_hw.Fn.register "from_device"
+let fn_to_device = Ppp_hw.Fn.register "to_device"
+let fn_skb_recycle = Ppp_hw.Fn.register "skb_recycle"
+
+type t = {
+  label : string;
+  gen : generator;
+  elements : Element.t list;
+  ctx : Ctx.t;
+  pkt : Ppp_net.Packet.t;
+  rx_desc : int Ppp_simmem.Iarray.t;
+  tx_desc : int Ppp_simmem.Iarray.t;
+  free_list : int Ppp_simmem.Iarray.t;
+  buf_base : int;
+  buf_stride : int;
+  rx_slots : int;
+  mutable seq : int;
+  mutable forwarded : int;
+  mutable dropped : int;
+}
+
+let create ~heap ~rng ~label ~gen ~elements ?(rx_slots = 64) ?(buf_stride = 2048)
+    () =
+  if rx_slots <= 0 then invalid_arg "Flow.create: rx_slots must be positive";
+  let open Ppp_simmem in
+  {
+    label;
+    gen;
+    elements;
+    ctx = Ctx.create ~rng;
+    pkt = Ppp_net.Packet.create 60;
+    rx_desc = Iarray.create heap ~elem_bytes:16 rx_slots 0;
+    tx_desc = Iarray.create heap ~elem_bytes:16 rx_slots 0;
+    free_list = Iarray.create heap ~elem_bytes:8 rx_slots 0;
+    buf_base = Heap.alloc heap ~bytes:(rx_slots * buf_stride);
+    buf_stride;
+    rx_slots;
+    seq = 0;
+    forwarded = 0;
+    dropped = 0;
+  }
+
+let label t = t.label
+let forwarded t = t.forwarded
+let dropped t = t.dropped
+let elements t = t.elements
+
+let header_bytes = 54 (* Ethernet + IPv4 + transport ports *)
+
+let receive t =
+  let open Ppp_hw.Trace in
+  let b = t.ctx.Ctx.builder in
+  let slot = t.seq mod t.rx_slots in
+  t.seq <- t.seq + 1;
+  t.gen t.pkt;
+  t.pkt.Ppp_net.Packet.buf_addr <- t.buf_base + (slot * t.buf_stride);
+  (* NIC DMA: descriptor write-back plus the packet's payload lines. *)
+  Builder.dma b (Ppp_simmem.Iarray.addr_of t.rx_desc slot);
+  let len = t.pkt.Ppp_net.Packet.len in
+  let base = t.pkt.Ppp_net.Packet.buf_addr in
+  let l = ref 0 in
+  while !l < len do
+    Builder.dma b (base + !l);
+    l := !l + 64
+  done;
+  (* Driver: read the descriptor, prime the next one, read the headers. *)
+  ignore (Ppp_simmem.Iarray.get t.rx_desc b ~fn:fn_from_device slot : int);
+  Ppp_simmem.Iarray.set t.rx_desc b ~fn:fn_from_device slot t.seq;
+  Ctx.touch_packet t.ctx t.pkt ~fn:fn_from_device ~write:false ~pos:0
+    ~len:(min header_bytes len);
+  Ctx.compute t.ctx ~fn:fn_from_device 40;
+  slot
+
+let transmit t slot =
+  Ppp_simmem.Iarray.set t.tx_desc t.ctx.Ctx.builder ~fn:fn_to_device slot
+    t.seq;
+  (* MAC rewrite on the first buffer line. *)
+  Ctx.touch_packet t.ctx t.pkt ~fn:fn_to_device ~write:true ~pos:0 ~len:12;
+  Ctx.compute t.ctx ~fn:fn_to_device 25
+
+let recycle t slot =
+  let b = t.ctx.Ctx.builder in
+  ignore (Ppp_simmem.Iarray.get t.free_list b ~fn:fn_skb_recycle slot : int);
+  Ppp_simmem.Iarray.set t.free_list b ~fn:fn_skb_recycle slot slot;
+  Ctx.compute t.ctx ~fn:fn_skb_recycle 15
+
+let source t (_now : int) =
+  let b = t.ctx.Ctx.builder in
+  Ppp_hw.Trace.Builder.clear b;
+  let slot = receive t in
+  (match Element.process_all t.elements t.ctx t.pkt with
+  | Element.Forward ->
+      transmit t slot;
+      t.forwarded <- t.forwarded + 1
+  | Element.Drop -> t.dropped <- t.dropped + 1);
+  recycle t slot;
+  Ppp_hw.Engine.Packet (Ppp_hw.Trace.Builder.finish b)

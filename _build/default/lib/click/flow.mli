@@ -1,0 +1,37 @@
+(** A packet-processing flow: the unit the paper schedules onto a core.
+
+    A flow owns an RX descriptor ring with NIC buffers, a chain of elements,
+    a TX ring, and a buffer pool with skb recycling — all placed in one NUMA
+    node's heap (Section 2.2's local-data policy). Its {!source} yields one
+    trace per packet: NIC DMA, FromDevice descriptor/header reads, the
+    elements' operations, ToDevice writes, and skb_recycle bookkeeping.
+
+    The input queue is assumed always backlogged (the paper drives each flow
+    at saturation to measure maximum throughput). *)
+
+type generator = Ppp_net.Packet.t -> unit
+(** Fills a preallocated packet in place with the next input packet. *)
+
+type t
+
+val create :
+  heap:Ppp_simmem.Heap.t ->
+  rng:Ppp_util.Rng.t ->
+  label:string ->
+  gen:generator ->
+  elements:Element.t list ->
+  ?rx_slots:int ->
+  ?buf_stride:int ->
+  unit ->
+  t
+(** [rx_slots] (default 64) RX buffers of [buf_stride] (default 2048) bytes. *)
+
+val source : t -> Ppp_hw.Engine.source
+val label : t -> string
+val forwarded : t -> int
+val dropped : t -> int
+val elements : t -> Element.t list
+
+val fn_from_device : Ppp_hw.Fn.t
+val fn_to_device : Ppp_hw.Fn.t
+val fn_skb_recycle : Ppp_hw.Fn.t

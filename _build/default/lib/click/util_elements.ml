@@ -1,0 +1,37 @@
+let fn_counter = Ppp_hw.Fn.register "counter"
+
+type counter_state = { mutable packets : int; mutable bytes : int }
+
+let counter ?heap () =
+  let state = { packets = 0; bytes = 0 } in
+  let stats_line =
+    match heap with
+    | Some h -> Some (Ppp_simmem.Iarray.create h ~elem_bytes:64 1 0)
+    | None -> None
+  in
+  let el =
+    Element.make ~kind:"Counter" (fun ctx pkt ->
+        state.packets <- state.packets + 1;
+        state.bytes <- state.bytes + pkt.Ppp_net.Packet.len;
+        (match stats_line with
+        | Some line ->
+            Ppp_simmem.Iarray.set line ctx.Ctx.builder ~fn:fn_counter 0
+              state.packets
+        | None -> ());
+        Ctx.compute ctx ~fn:fn_counter 4;
+        Element.Forward)
+  in
+  (el, state)
+
+let rated_sampler ~every =
+  if every < 1 then invalid_arg "Util_elements.rated_sampler: every";
+  let n = ref 0 in
+  Element.make ~kind:"RatedSampler" (fun ctx _pkt ->
+      incr n;
+      Ctx.compute ctx ~fn:fn_counter 3;
+      if !n mod every = 0 then Element.Forward else Element.Drop)
+
+let tee_counter ~label f =
+  Element.make ~kind:"TeeCounter" (fun _ctx pkt ->
+      f label pkt.Ppp_net.Packet.len;
+      Element.Forward)

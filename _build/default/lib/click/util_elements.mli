@@ -1,0 +1,18 @@
+(** Small utility element classes in the spirit of the Click distribution's
+    standard library. *)
+
+val fn_counter : Ppp_hw.Fn.t
+
+type counter_state = { mutable packets : int; mutable bytes : int }
+
+val counter : ?heap:Ppp_simmem.Heap.t -> unit -> Element.t * counter_state
+(** Counts packets and bytes, updating one cacheable statistics line per
+    packet when a heap is given (as Click's Counter element does). *)
+
+val rated_sampler : every:int -> Element.t
+(** Forwards one packet in [every], drops the rest (Click's RatedSampler as
+    used by sampled monitoring). [every >= 1]. *)
+
+val tee_counter : label:string -> (string -> int -> unit) -> Element.t
+(** Passes every packet through, invoking the callback with the label and
+    wire length — glue for custom instrumentation. *)

@@ -1,0 +1,1 @@
+lib/core/cache_model.ml: Equation1 List Ppp_util

@@ -1,0 +1,1 @@
+lib/core/cache_model.mli: Ppp_util

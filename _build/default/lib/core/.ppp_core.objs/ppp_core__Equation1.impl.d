@@ -1,0 +1,1 @@
+lib/core/equation1.ml: List Ppp_util

@@ -1,0 +1,1 @@
+lib/core/equation1.mli: Ppp_util

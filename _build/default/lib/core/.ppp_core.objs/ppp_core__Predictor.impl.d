@@ -1,0 +1,1 @@
+lib/core/predictor.ml: List Ppp_apps Ppp_hw Ppp_util Printf Runner Sensitivity

@@ -1,0 +1,1 @@
+lib/core/predictor.mli: Ppp_apps Ppp_util Runner

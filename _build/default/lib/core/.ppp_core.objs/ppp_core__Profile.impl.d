@@ -1,0 +1,1 @@
+lib/core/profile.ml: List Ppp_apps Ppp_hw Ppp_util Printf Runner Table

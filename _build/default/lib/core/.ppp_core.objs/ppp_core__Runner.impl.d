@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array List Ppp_apps Ppp_click Ppp_hw Ppp_simmem Ppp_util

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Ppp_apps Ppp_hw

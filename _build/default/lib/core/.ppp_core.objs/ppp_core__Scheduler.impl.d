@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Array Hashtbl List Ppp_apps Ppp_hw Printf Runner String

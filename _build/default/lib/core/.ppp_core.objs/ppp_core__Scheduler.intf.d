@@ -1,0 +1,1 @@
+lib/core/scheduler.mli: Ppp_apps Ppp_hw Runner

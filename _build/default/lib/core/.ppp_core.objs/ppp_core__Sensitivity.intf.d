@@ -1,0 +1,1 @@
+lib/core/sensitivity.mli: Ppp_apps Ppp_hw Ppp_util Runner

@@ -1,0 +1,1 @@
+lib/core/throttle.ml: Ppp_apps Ppp_click Ppp_hw Ppp_simmem Ppp_traffic Ppp_util

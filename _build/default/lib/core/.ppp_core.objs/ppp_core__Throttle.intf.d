@@ -1,0 +1,1 @@
+lib/core/throttle.mli: Ppp_click Ppp_hw Ppp_simmem Ppp_util

@@ -1,0 +1,43 @@
+let check ~cache_lines ~chunks ~target_hits_per_sec ~competing_refs_per_sec =
+  if cache_lines <= 0 || chunks <= 0 then invalid_arg "Cache_model: sizes";
+  if target_hits_per_sec < 0.0 || competing_refs_per_sec < 0.0 then
+    invalid_arg "Cache_model: rates"
+
+let p_hit ~cache_lines ~chunks ~target_hits_per_sec ~competing_refs_per_sec =
+  check ~cache_lines ~chunks ~target_hits_per_sec ~competing_refs_per_sec;
+  if target_hits_per_sec = 0.0 then 1.0
+  else begin
+    let pev = 1.0 /. float_of_int cache_lines in
+    let per_chunk = target_hits_per_sec /. float_of_int chunks in
+    let pt = per_chunk /. (per_chunk +. competing_refs_per_sec) in
+    pt /. (1.0 -. ((1.0 -. pev) *. (1.0 -. pt)))
+  end
+
+let conversion_rate ~cache_lines ~chunks ~target_hits_per_sec
+    ~competing_refs_per_sec =
+  1.0
+  -. p_hit ~cache_lines ~chunks ~target_hits_per_sec ~competing_refs_per_sec
+
+let sample_curve ~max_refs_per_sec ~samples f =
+  if samples < 2 then invalid_arg "Cache_model: samples";
+  Ppp_util.Series.of_points
+    (List.init samples (fun i ->
+         let rc =
+           max_refs_per_sec *. float_of_int i /. float_of_int (samples - 1)
+         in
+         (rc, f rc)))
+
+let conversion_curve ~cache_lines ~chunks ~target_hits_per_sec
+    ~max_refs_per_sec ~samples =
+  sample_curve ~max_refs_per_sec ~samples (fun rc ->
+      conversion_rate ~cache_lines ~chunks ~target_hits_per_sec
+        ~competing_refs_per_sec:rc)
+
+let drop_curve ~delta ~cache_lines ~chunks ~target_hits_per_sec
+    ~max_refs_per_sec ~samples =
+  sample_curve ~max_refs_per_sec ~samples (fun rc ->
+      let kappa =
+        conversion_rate ~cache_lines ~chunks ~target_hits_per_sec
+          ~competing_refs_per_sec:rc
+      in
+      Equation1.drop ~delta ~kappa ~hits_per_sec:target_hits_per_sec)

@@ -1,0 +1,33 @@
+(** The simple probabilistic cache-sharing model of Appendix A.
+
+    A target flow achieving [ht] hits/sec solo over [w] cacheable chunks
+    shares a [c]-line cache with competitors performing [rc] refs/sec. Each
+    competing reference evicts a given line with probability 1/c; between two
+    target touches of the same chunk, the number of competing references is
+    geometric. The resulting hit survival probability is
+
+    P(hit) = pt / (1 - (1 - pev)(1 - pt)),
+    pev = 1/c,  pt = (ht/w) / (ht/w + rc).
+
+    The model explains the *shape* of conversion-vs-competition (sharp rise,
+    then saturation); it deliberately overestimates the value for flows with
+    non-uniform access patterns (Section 3.3). *)
+
+val p_hit :
+  cache_lines:int -> chunks:int -> target_hits_per_sec:float ->
+  competing_refs_per_sec:float -> float
+
+val conversion_rate :
+  cache_lines:int -> chunks:int -> target_hits_per_sec:float ->
+  competing_refs_per_sec:float -> float
+(** 1 - P(hit). *)
+
+val conversion_curve :
+  cache_lines:int -> chunks:int -> target_hits_per_sec:float ->
+  max_refs_per_sec:float -> samples:int -> Ppp_util.Series.t
+
+val drop_curve :
+  delta:float -> cache_lines:int -> chunks:int -> target_hits_per_sec:float ->
+  max_refs_per_sec:float -> samples:int -> Ppp_util.Series.t
+(** Conversion plugged into Equation 1: the model's analytic estimate of the
+    drop-vs-competition curve. *)

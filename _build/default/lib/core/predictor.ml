@@ -1,0 +1,52 @@
+type entry = {
+  solo_refs : float;
+  solo_pps : float;
+  series : Ppp_util.Series.t;
+}
+
+type t = (Ppp_apps.App.kind * entry) list
+
+let build ?(params = Runner.default_params) ?levels ~targets () =
+  List.map
+    (fun kind ->
+      let curve = Sensitivity.measure ~params ?levels ~resource:Sensitivity.Both kind in
+      let solo = Runner.solo ~params kind in
+      ( kind,
+        {
+          solo_refs = solo.Ppp_hw.Engine.l3_refs_per_sec;
+          solo_pps = solo.Ppp_hw.Engine.throughput_pps;
+          series = Sensitivity.to_series curve;
+        } ))
+    targets
+
+let find t kind =
+  match List.assoc_opt kind t with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Predictor: kind %s was not profiled"
+           (Ppp_apps.App.name kind))
+
+let solo_refs_per_sec t kind = (find t kind).solo_refs
+let solo_throughput t kind = (find t kind).solo_pps
+let curve t kind = (find t kind).series
+
+let predict_drop_at t ~target ~refs_per_sec =
+  Ppp_util.Series.eval (find t target).series refs_per_sec
+
+let predict_drop t ~target ~competitors =
+  let refs =
+    List.fold_left (fun acc c -> acc +. (find t c).solo_refs) 0.0 competitors
+  in
+  predict_drop_at t ~target ~refs_per_sec:refs
+
+let predict_throughput t ~target ~competitors =
+  (find t target).solo_pps *. (1.0 -. predict_drop t ~target ~competitors)
+
+let predict_mix t mix =
+  List.mapi
+    (fun i target ->
+      let competitors = List.filteri (fun j _ -> j <> i) mix in
+      let drop = predict_drop t ~target ~competitors in
+      (target, drop, (find t target).solo_pps *. (1.0 -. drop)))
+    mix

@@ -1,0 +1,25 @@
+(** Offline solo-run profiling — the simulator's version of the paper's
+    Oprofile characterization (Table 1). *)
+
+type t = {
+  kind : Ppp_apps.App.kind;
+  throughput_pps : float;
+  cycles_per_instruction : float;
+  l3_refs_per_sec : float;  (** millions are printed, raw stored *)
+  l3_hits_per_sec : float;
+  cycles_per_packet : float;
+  l3_refs_per_packet : float;
+  l3_misses_per_packet : float;
+  l2_hits_per_packet : float;
+  l1_hits_per_packet : float;
+}
+
+val of_result : Ppp_apps.App.kind -> Ppp_hw.Engine.result -> t
+
+val solo : ?params:Runner.params -> Ppp_apps.App.kind -> t
+(** Profile a kind running alone. *)
+
+val table1 : ?params:Runner.params -> Ppp_apps.App.kind list -> t list
+
+val to_table : t list -> Ppp_util.Table.t
+(** Rendered with the same columns as the paper's Table 1. *)

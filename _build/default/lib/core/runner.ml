@@ -1,0 +1,87 @@
+type spec = { kind : Ppp_apps.App.kind; core : int; data_node : int }
+
+let flow_on ?node ~core kind =
+  let data_node =
+    match node with
+    | Some n -> n
+    | None ->
+        let topo = Ppp_hw.Machine.scaled.Ppp_hw.Machine.topology in
+        Ppp_hw.Topology.socket_of_core topo core
+  in
+  { kind; core; data_node }
+
+type params = {
+  config : Ppp_hw.Machine.config;
+  seed : int;
+  warmup_cycles : int;
+  measure_cycles : int;
+}
+
+let default_params =
+  {
+    config = Ppp_hw.Machine.scaled;
+    seed = 42;
+    warmup_cycles = 3_000_000;
+    measure_cycles = 10_000_000;
+  }
+
+let quick_params =
+  {
+    config = Ppp_hw.Machine.tiny;
+    seed = 42;
+    warmup_cycles = 300_000;
+    measure_cycles = 1_000_000;
+  }
+
+let run ?(params = default_params) specs =
+  if specs = [] then invalid_arg "Runner.run: no flows";
+  let config = params.config in
+  let topo = config.Ppp_hw.Machine.topology in
+  let hier = Ppp_hw.Machine.build config in
+  let heaps =
+    Array.init topo.Ppp_hw.Topology.sockets (fun node ->
+        Ppp_simmem.Heap.create ~node)
+  in
+  let rng = Ppp_util.Rng.create ~seed:params.seed in
+  let flows =
+    List.map
+      (fun spec ->
+        if spec.core < 0 || spec.core >= Ppp_hw.Topology.cores topo then
+          invalid_arg "Runner.run: core out of range";
+        if spec.data_node < 0 || spec.data_node >= Array.length heaps then
+          invalid_arg "Runner.run: node out of range";
+        let label = Ppp_apps.App.name spec.kind in
+        let flow =
+          Ppp_apps.App.flow spec.kind ~heap:heaps.(spec.data_node)
+            ~rng:(Ppp_util.Rng.split rng)
+            ~scale:config.Ppp_hw.Machine.scale ~label ()
+        in
+        {
+          Ppp_hw.Engine.core = spec.core;
+          label;
+          source = Ppp_click.Flow.source flow;
+        })
+      specs
+  in
+  Ppp_hw.Engine.run hier ~flows ~warmup_cycles:params.warmup_cycles
+    ~measure_cycles:params.measure_cycles
+
+let run ?params specs =
+  (* Results come back in input order already (Engine preserves it). *)
+  run ?params specs
+
+let solo ?params kind =
+  match run ?params [ flow_on ~core:0 kind ] with
+  | [ r ] -> r
+  | _ -> assert false
+
+let drop ~solo ~corun =
+  let ts = solo.Ppp_hw.Engine.throughput_pps in
+  (ts -. corun.Ppp_hw.Engine.throughput_pps) /. ts
+
+let competing_refs_per_sec results ~target =
+  List.fold_left
+    (fun acc (r : Ppp_hw.Engine.result) ->
+      if r.Ppp_hw.Engine.core = target.Ppp_hw.Engine.core then acc
+      else acc +. r.Ppp_hw.Engine.l3_refs_per_sec)
+    0.0 results

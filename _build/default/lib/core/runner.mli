@@ -1,0 +1,47 @@
+(** Experiment harness: place flows on cores and NUMA nodes, run them to a
+    steady state, and report per-flow results.
+
+    This encodes the measurement methodology of Section 3: a run has a warmup
+    period and a measurement window; the contention-induced performance drop
+    of a flow is (tau_s - tau_c) / tau_s against its solo throughput under
+    identical placement. *)
+
+type spec = {
+  kind : Ppp_apps.App.kind;
+  core : int;
+  data_node : int;
+      (** NUMA node holding every data structure of this flow. The paper's
+          Figure 3 configurations are expressed here: local data =
+          socket of [core]; remote data = the other node. *)
+}
+
+val flow_on : ?node:int -> core:int -> Ppp_apps.App.kind -> spec
+(** [flow_on ~core kind] places data locally; [?node] overrides. *)
+
+type params = {
+  config : Ppp_hw.Machine.config;
+  seed : int;
+  warmup_cycles : int;
+  measure_cycles : int;
+}
+
+val default_params : params
+(** scaled machine, seed 42, 3M cycles warmup, 10M measured. *)
+
+val quick_params : params
+(** Shorter window for tests. *)
+
+val run : ?params:params -> spec list -> Ppp_hw.Engine.result list
+(** Builds a fresh machine, instantiates each spec as a flow, runs, and
+    returns results in spec order. *)
+
+val solo : ?params:params -> Ppp_apps.App.kind -> Ppp_hw.Engine.result
+(** The kind alone on core 0, data local. *)
+
+val drop : solo:Ppp_hw.Engine.result -> corun:Ppp_hw.Engine.result -> float
+(** Fractional contention-induced drop, >= -epsilon in practice. *)
+
+val competing_refs_per_sec :
+  Ppp_hw.Engine.result list -> target:Ppp_hw.Engine.result -> float
+(** Sum of the other flows' measured L3 refs/sec (the paper's "competing
+    references"). *)

@@ -1,0 +1,156 @@
+type combo = (Ppp_apps.App.kind * int) list
+
+let combo_name combo =
+  combo
+  |> List.map (fun (k, n) -> Printf.sprintf "%d %s" n (Ppp_apps.App.name k))
+  |> String.concat " + "
+
+(* Enumerate the number of flows of each kind assigned to socket 0; the rest
+   go to socket 1. Only two-socket machines are supported (as the paper's). *)
+let splits ~config combo =
+  let topo = config.Ppp_hw.Machine.topology in
+  if topo.Ppp_hw.Topology.sockets <> 2 then
+    invalid_arg "Scheduler.splits: two-socket machines only";
+  let cps = topo.Ppp_hw.Topology.cores_per_socket in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 combo in
+  if total <> Ppp_hw.Topology.cores topo then
+    invalid_arg "Scheduler.splits: combo must fill every core";
+  List.iter
+    (fun (_, n) -> if n <= 0 then invalid_arg "Scheduler.splits: counts") combo;
+  let kinds = Array.of_list combo in
+  let nkinds = Array.length kinds in
+  let acc = ref [] in
+  let counts = Array.make nkinds 0 in
+  let rec go i assigned =
+    if i = nkinds then begin
+      if assigned = cps then begin
+        let socket0 =
+          List.concat
+            (List.init nkinds (fun j ->
+                 List.init counts.(j) (fun _ -> fst kinds.(j))))
+        in
+        let socket1 =
+          List.concat
+            (List.init nkinds (fun j ->
+                 List.init (snd kinds.(j) - counts.(j)) (fun _ -> fst kinds.(j))))
+        in
+        acc := [ socket0; socket1 ] :: !acc
+      end
+    end
+    else
+      for c = 0 to min (snd kinds.(i)) (cps - assigned) do
+        counts.(i) <- c;
+        go (i + 1) (assigned + c);
+        counts.(i) <- 0
+      done
+  in
+  go 0 0;
+  (* Dedup under socket exchange. *)
+  let canon p =
+    let key socket =
+      List.map Ppp_apps.App.name socket |> List.sort compare |> String.concat ","
+    in
+    match p with
+    | [ a; b ] ->
+        let ka = key a and kb = key b in
+        if ka <= kb then ka ^ "|" ^ kb else kb ^ "|" ^ ka
+    | _ -> assert false
+  in
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun p ->
+      let k = canon p in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    !acc
+
+type evaluation = {
+  per_socket : Ppp_apps.App.kind list list;
+  avg_drop : float;
+  per_flow : (Ppp_apps.App.kind * float) list;
+}
+
+let evaluate ?(params = Runner.default_params) ?(solo = []) combo =
+  let config = params.Runner.config in
+  let cps = Ppp_hw.Machine.cores_per_socket config in
+  let solo_cache = Hashtbl.create 8 in
+  List.iter (fun (k, pps) -> Hashtbl.replace solo_cache k pps) solo;
+  let solo_pps kind =
+    match Hashtbl.find_opt solo_cache kind with
+    | Some pps -> pps
+    | None ->
+        let r = Runner.solo ~params kind in
+        let pps = r.Ppp_hw.Engine.throughput_pps in
+        Hashtbl.replace solo_cache kind pps;
+        pps
+  in
+  let eval placement =
+    let specs =
+      List.concat
+        (List.mapi
+           (fun socket kinds_on_socket ->
+             List.mapi
+               (fun i kind ->
+                 { Runner.kind; core = (socket * cps) + i; data_node = socket })
+               kinds_on_socket)
+           placement)
+    in
+    let results = Runner.run ~params specs in
+    let per_flow =
+      List.map2
+        (fun (spec : Runner.spec) r ->
+          let ts = solo_pps spec.Runner.kind in
+          (spec.Runner.kind, (ts -. r.Ppp_hw.Engine.throughput_pps) /. ts))
+        specs results
+    in
+    let drops = List.map snd per_flow in
+    {
+      per_socket = placement;
+      avg_drop = List.fold_left ( +. ) 0.0 drops /. float_of_int (List.length drops);
+      per_flow;
+    }
+  in
+  List.map eval (splits ~config combo)
+
+let best evals =
+  match evals with
+  | [] -> invalid_arg "Scheduler.best: empty"
+  | e :: rest ->
+      List.fold_left (fun b e -> if e.avg_drop < b.avg_drop then e else b) e rest
+
+let worst evals =
+  match evals with
+  | [] -> invalid_arg "Scheduler.worst: empty"
+  | e :: rest ->
+      List.fold_left (fun w e -> if e.avg_drop > w.avg_drop then e else w) e rest
+
+let gain evals = (worst evals).avg_drop -. (best evals).avg_drop
+
+let greedy_placement ~config ~aggressiveness combo =
+  let topo = config.Ppp_hw.Machine.topology in
+  if topo.Ppp_hw.Topology.sockets <> 2 then
+    invalid_arg "Scheduler.greedy_placement: two-socket machines only";
+  let cps = topo.Ppp_hw.Topology.cores_per_socket in
+  let flows =
+    List.concat_map (fun (k, n) -> List.init n (fun _ -> k)) combo
+    |> List.map (fun k -> (k, aggressiveness k))
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let load = [| 0.0; 0.0 |] and count = [| 0; 0 |] in
+  let sockets = [| []; [] |] in
+  List.iter
+    (fun (k, a) ->
+      let s =
+        if count.(0) >= cps then 1
+        else if count.(1) >= cps then 0
+        else if load.(0) <= load.(1) then 0
+        else 1
+      in
+      sockets.(s) <- k :: sockets.(s);
+      load.(s) <- load.(s) +. a;
+      count.(s) <- count.(s) + 1)
+    flows;
+  [ List.rev sockets.(0); List.rev sockets.(1) ]

@@ -1,0 +1,105 @@
+type resource = Cache_only | Memctrl_only | Both
+
+let resource_name = function
+  | Cache_only -> "cache-only"
+  | Memctrl_only -> "memctrl-only"
+  | Both -> "cache+memctrl"
+
+let placement ~config resource ~n_competitors ~competitor ~target =
+  let cps = Ppp_hw.Machine.cores_per_socket config in
+  if n_competitors > cps - 1 && resource <> Memctrl_only then
+    invalid_arg "Sensitivity.placement: too many co-located competitors";
+  if n_competitors > cps && resource = Memctrl_only then
+    invalid_arg "Sensitivity.placement: too many remote competitors";
+  let target_spec = { Runner.kind = target; core = 0; data_node = 0 } in
+  let competitor_spec i =
+    match resource with
+    | Cache_only -> { Runner.kind = competitor; core = 1 + i; data_node = 1 }
+    | Memctrl_only -> { Runner.kind = competitor; core = cps + i; data_node = 0 }
+    | Both -> { Runner.kind = competitor; core = 1 + i; data_node = 0 }
+  in
+  target_spec :: List.init n_competitors competitor_spec
+
+(* Ramp both SYN knobs (the paper's synthetic application has a
+   configurable number of CPU operations and of random reads), so that a
+   SYN flow's per-packet I/O overhead stays comparable to the realistic
+   flows' across the whole range of aggressiveness. *)
+let default_syn_levels =
+  List.map
+    (fun (reads, instrs) -> { Ppp_apps.App.reads; instrs })
+    [
+      (2, 80_000);
+      (4, 40_000);
+      (8, 20_000);
+      (8, 8_000);
+      (16, 6_000);
+      (16, 3_000);
+      (32, 2_500);
+      (32, 1_200);
+      (64, 1_000);
+      (64, 400);
+      (128, 300);
+      (256, 0);
+    ]
+
+type point = {
+  competing_refs_per_sec : float;
+  drop : float;
+  target_hits_per_sec : float;
+}
+
+type curve = {
+  target : Ppp_apps.App.kind;
+  resource : resource;
+  solo_pps : float;
+  points : point list;
+}
+
+let measure ?(params = Runner.default_params) ?(levels = default_syn_levels)
+    ?n_competitors ~resource target =
+  let n_competitors =
+    match n_competitors with
+    | Some n -> n
+    | None ->
+        (* As many co-located competitors as the socket allows, up to the
+           paper's five. *)
+        min 5 (Ppp_hw.Machine.cores_per_socket params.Runner.config - 1)
+  in
+  let solo = Runner.solo ~params target in
+  let solo_pps = solo.Ppp_hw.Engine.throughput_pps in
+  let run_level level =
+    let specs =
+      placement ~config:params.Runner.config resource ~n_competitors
+        ~competitor:(Ppp_apps.App.SYN level) ~target
+    in
+    match Runner.run ~params specs with
+    | t :: competitors ->
+        {
+          competing_refs_per_sec =
+            List.fold_left
+              (fun acc (r : Ppp_hw.Engine.result) ->
+                acc +. r.Ppp_hw.Engine.l3_refs_per_sec)
+              0.0 competitors;
+          drop = Runner.drop ~solo ~corun:t;
+          target_hits_per_sec = t.Ppp_hw.Engine.l3_hits_per_sec;
+        }
+    | [] -> assert false
+  in
+  let points = List.map run_level levels in
+  let origin =
+    {
+      competing_refs_per_sec = 0.0;
+      drop = 0.0;
+      target_hits_per_sec = solo.Ppp_hw.Engine.l3_hits_per_sec;
+    }
+  in
+  let sorted =
+    List.sort
+      (fun a b -> compare a.competing_refs_per_sec b.competing_refs_per_sec)
+      (origin :: points)
+  in
+  { target; resource; solo_pps; points = sorted }
+
+let to_series curve =
+  Ppp_util.Series.of_points
+    (List.map (fun p -> (p.competing_refs_per_sec, p.drop)) curve.points)

@@ -1,0 +1,44 @@
+(** Containing hidden aggressiveness (Section 4).
+
+    A flow might behave tamely during offline profiling and turn aggressive
+    in production (e.g. on receiving a crafted packet). The paper's defense:
+    monitor each flow's memory-reference rate with hardware counters and,
+    when it exceeds the profiled rate, slow the flow down with a control
+    element. [source] implements exactly that as a wrapper around a flow's
+    engine source: it counts the references the flow issues, compares
+    against the budget using the core's cycle counter, and inserts idle time
+    until the average rate is back under budget. *)
+
+val source :
+  budget_refs_per_sec:float ->
+  freq_hz:float ->
+  Ppp_hw.Engine.source ->
+  Ppp_hw.Engine.source
+(** The wrapped flow's long-run memory-reference rate (loads + stores issued,
+    of which L3 refs are a subset) never exceeds the budget. *)
+
+val l3_budget_source :
+  budget_l3_refs_per_sec:float ->
+  hier:Ppp_hw.Hierarchy.t ->
+  core:int ->
+  freq_hz:float ->
+  Ppp_hw.Engine.source ->
+  Ppp_hw.Engine.source
+(** Like {!source} but meters actual L3 refs/sec read from the core's
+    performance counters (the quantity the paper's prediction cares about). *)
+
+(** A flow that switches behaviour mid-run: tame for the first
+    [switch_after] packets, then maximally aggressive — the paper's
+    adversarial example of a flow that lies to offline profiling. *)
+module Two_faced : sig
+  val elements :
+    heap:Ppp_simmem.Heap.t ->
+    rng:Ppp_util.Rng.t ->
+    buffer_bytes:int ->
+    quiet_reads:int ->
+    loud_reads:int ->
+    switch_after:int ->
+    Ppp_click.Element.t list
+
+  val gen : Ppp_click.Flow.generator
+end

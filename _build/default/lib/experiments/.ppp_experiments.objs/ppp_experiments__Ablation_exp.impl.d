@@ -1,0 +1,1 @@
+lib/experiments/ablation_exp.ml: Equation1 Exp_common List Ppp_apps Ppp_core Ppp_hw Ppp_util Printf Runner Sensitivity Table

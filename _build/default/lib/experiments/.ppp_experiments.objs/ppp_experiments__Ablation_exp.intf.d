@@ -1,0 +1,1 @@
+lib/experiments/ablation_exp.mli: Ppp_apps Ppp_core

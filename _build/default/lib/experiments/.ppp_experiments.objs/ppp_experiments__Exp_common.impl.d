@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: List Ppp_apps Ppp_core Ppp_hw Printf Runner Sensitivity

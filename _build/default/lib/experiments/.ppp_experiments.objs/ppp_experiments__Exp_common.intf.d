@@ -1,0 +1,1 @@
+lib/experiments/exp_common.mli: Ppp_apps Ppp_core Ppp_hw

@@ -1,0 +1,1 @@
+lib/experiments/fig10_exp.ml: Exp_common Float List Ppp_apps Ppp_core Ppp_hw Ppp_util Printf Runner Scheduler Table

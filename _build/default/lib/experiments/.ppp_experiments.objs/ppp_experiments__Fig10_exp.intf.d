@@ -1,0 +1,1 @@
+lib/experiments/fig10_exp.mli: Ppp_core

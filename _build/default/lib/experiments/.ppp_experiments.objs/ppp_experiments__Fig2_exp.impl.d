@@ -1,0 +1,1 @@
+lib/experiments/fig2_exp.ml: Exp_common List Ppp_apps Ppp_core Ppp_util Runner Table

@@ -1,0 +1,1 @@
+lib/experiments/fig2_exp.mli: Exp_common Ppp_apps Ppp_core

@@ -1,0 +1,1 @@
+lib/experiments/fig4_exp.ml: Buffer Exp_common List Ppp_apps Ppp_core Ppp_util Printf Runner Sensitivity Table

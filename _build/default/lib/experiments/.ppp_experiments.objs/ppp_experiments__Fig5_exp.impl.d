@@ -1,0 +1,1 @@
+lib/experiments/fig5_exp.ml: Buffer Exp_common Float List Ppp_apps Ppp_core Ppp_util Printf Runner Sensitivity Table

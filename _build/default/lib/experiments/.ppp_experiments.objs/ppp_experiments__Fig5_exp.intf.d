@@ -1,0 +1,1 @@
+lib/experiments/fig5_exp.mli: Ppp_apps Ppp_core

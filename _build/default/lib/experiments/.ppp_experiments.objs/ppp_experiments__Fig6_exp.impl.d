@@ -1,0 +1,1 @@
+lib/experiments/fig6_exp.ml: Equation1 Exp_common Float List Ppp_apps Ppp_core Ppp_util Printf Profile Runner Table

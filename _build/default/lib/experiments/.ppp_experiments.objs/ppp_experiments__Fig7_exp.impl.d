@@ -1,0 +1,1 @@
+lib/experiments/fig7_exp.ml: Cache_model Exp_common Float List Ppp_apps Ppp_core Ppp_hw Ppp_util Printf Runner Sensitivity Table

@@ -1,0 +1,1 @@
+lib/experiments/fig8_exp.mli: Ppp_apps Ppp_core

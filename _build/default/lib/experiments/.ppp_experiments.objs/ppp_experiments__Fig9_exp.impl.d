@@ -1,0 +1,1 @@
+lib/experiments/fig9_exp.ml: Exp_common Float List Ppp_apps Ppp_core Ppp_hw Ppp_util Predictor Printf Runner Table

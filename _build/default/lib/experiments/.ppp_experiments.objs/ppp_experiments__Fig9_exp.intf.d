@@ -1,0 +1,1 @@
+lib/experiments/fig9_exp.mli: Ppp_apps Ppp_core

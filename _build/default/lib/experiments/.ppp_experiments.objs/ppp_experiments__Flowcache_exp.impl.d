@@ -1,0 +1,1 @@
+lib/experiments/flowcache_exp.ml: Exp_common List Ppp_apps Ppp_click Ppp_core Ppp_hw Ppp_simmem Ppp_traffic Ppp_util Printf Runner Table

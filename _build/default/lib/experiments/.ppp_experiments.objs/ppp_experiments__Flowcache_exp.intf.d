@@ -1,0 +1,1 @@
+lib/experiments/flowcache_exp.mli: Ppp_core

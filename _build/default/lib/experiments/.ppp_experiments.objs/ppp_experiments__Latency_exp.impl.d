@@ -1,0 +1,1 @@
+lib/experiments/latency_exp.ml: List Ppp_apps Ppp_core Ppp_hw Ppp_util Printf Runner Sensitivity Table

@@ -1,0 +1,1 @@
+lib/experiments/latency_exp.mli: Ppp_apps Ppp_core

@@ -1,0 +1,1 @@
+lib/experiments/multiflow_exp.ml: Float List Ppp_apps Ppp_click Ppp_core Ppp_hw Ppp_simmem Ppp_util Printf Runner Table

@@ -1,0 +1,1 @@
+lib/experiments/multiflow_exp.mli: Ppp_core

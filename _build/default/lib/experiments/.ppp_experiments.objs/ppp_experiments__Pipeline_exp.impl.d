@@ -1,0 +1,1 @@
+lib/experiments/pipeline_exp.ml: Array List Ppp_apps Ppp_click Ppp_core Ppp_hw Ppp_simmem Ppp_traffic Ppp_util Printf Runner Table

@@ -1,0 +1,1 @@
+lib/experiments/pipeline_exp.mli: Ppp_core

@@ -1,0 +1,1 @@
+lib/experiments/table1_exp.ml: Ppp_apps Ppp_core Ppp_util Profile Runner

@@ -1,0 +1,1 @@
+lib/experiments/table1_exp.mli: Ppp_core

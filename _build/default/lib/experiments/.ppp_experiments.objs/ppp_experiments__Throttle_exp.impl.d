@@ -1,0 +1,1 @@
+lib/experiments/throttle_exp.ml: Exp_common List Ppp_apps Ppp_click Ppp_core Ppp_hw Ppp_simmem Ppp_util Printf Runner Table Throttle

@@ -1,0 +1,1 @@
+lib/experiments/throttle_exp.mli: Ppp_core

@@ -1,0 +1,53 @@
+(** Ablations over the design choices DESIGN.md calls out — checks that the
+    reproduced phenomena are robust consequences of the architecture model
+    rather than artifacts of one parameter choice.
+
+    - {b Equation-1 bound}: for each realistic flow, the drop measured under
+      the most aggressive competition we can generate (5 x SYN_MAX) must
+      stay below the kappa=1 worst-case bound computed from its solo
+      hits/sec — the paper's Figure 6 claim, validated empirically.
+    - {b delta sweep}: the same co-run measured under different DRAM miss
+      penalties; sensitivity must grow with delta as Equation 1 predicts.
+    - {b NUMA locality}: a flow placed with remote data loses throughput
+      (the Section 2.2 argument for local allocation).
+    - {b miss overlap (MLP)}: with the optional out-of-order-style miss
+      overlap enabled, SYN competitors reach several times more refs/sec —
+      explaining why the paper's competing-refs axis extends to 300M where
+      the default in-order model stops near 100M. *)
+
+type bound_check = {
+  kind : Ppp_apps.App.kind;
+  solo_hits_per_sec : float;
+  bound : float;  (** Equation 1, kappa = 1, platform delta *)
+  measured_worst : float;  (** drop under 5 x SYN_MAX *)
+}
+
+type delta_point = {
+  dram_lat_cycles : int;
+  delta_ns : float;
+  mon_drop : float;  (** MON vs 5 x SYN_MAX at this delta *)
+}
+
+type numa_check = {
+  kind : Ppp_apps.App.kind;
+  local_pps : float;
+  remote_pps : float;
+  penalty : float;  (** fractional loss from remote data *)
+}
+
+type mlp_point = {
+  mlp : int;
+  competing_refs_per_sec : float;  (** from 5 x SYN_MAX *)
+  mon_drop_mlp : float;
+}
+
+type data = {
+  bounds : bound_check list;
+  delta_sweep : delta_point list;
+  numa : numa_check list;
+  mlp_sweep : mlp_point list;
+}
+
+val measure : ?params:Ppp_core.Runner.params -> unit -> data
+val render : data -> string
+val run : ?params:Ppp_core.Runner.params -> unit -> string

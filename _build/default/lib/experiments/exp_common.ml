@@ -1,0 +1,61 @@
+open Ppp_core
+
+let realistic = Ppp_apps.App.realistic
+
+type pair_result = {
+  target : Ppp_apps.App.kind;
+  competitor : Ppp_apps.App.kind;
+  drop : float;
+  competing_refs_per_sec : float;
+  target_result : Ppp_hw.Engine.result;
+}
+
+let solo_results ~params kinds =
+  List.map (fun k -> (k, Runner.solo ~params k)) kinds
+
+let pair_matrix ~params ~solos ?(n_competitors = 5) kinds =
+  let pair target competitor =
+    let specs =
+      Sensitivity.placement ~config:params.Runner.config Sensitivity.Both
+        ~n_competitors ~competitor ~target
+    in
+    match Runner.run ~params specs with
+    | t :: competitors ->
+        let solo = List.assoc target solos in
+        {
+          target;
+          competitor;
+          drop = Runner.drop ~solo ~corun:t;
+          competing_refs_per_sec =
+            List.fold_left
+              (fun acc (r : Ppp_hw.Engine.result) ->
+                acc +. r.Ppp_hw.Engine.l3_refs_per_sec)
+              0.0 competitors;
+          target_result = t;
+        }
+    | [] -> assert false
+  in
+  List.concat_map (fun t -> List.map (fun c -> pair t c) kinds) kinds
+
+let find_pair pairs ~target ~competitor =
+  List.find
+    (fun p -> p.target = target && p.competitor = competitor)
+    pairs
+
+let avg_drop_per_target pairs =
+  let targets =
+    List.sort_uniq compare (List.map (fun p -> p.target) pairs)
+  in
+  List.map
+    (fun t ->
+      let drops =
+        List.filter_map
+          (fun p -> if p.target = t then Some p.drop else None)
+          pairs
+      in
+      ( t,
+        List.fold_left ( +. ) 0.0 drops /. float_of_int (List.length drops) ))
+    targets
+
+let pct x = Printf.sprintf "%.2f" (100.0 *. x)
+let millions x = Printf.sprintf "%.1f" (x /. 1e6)

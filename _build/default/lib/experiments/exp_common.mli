@@ -1,0 +1,38 @@
+(** Shared helpers for the per-figure experiment drivers. *)
+
+val realistic : Ppp_apps.App.kind list
+
+type pair_result = {
+  target : Ppp_apps.App.kind;
+  competitor : Ppp_apps.App.kind;
+  drop : float;
+  competing_refs_per_sec : float;
+  target_result : Ppp_hw.Engine.result;
+}
+
+val solo_results :
+  params:Ppp_core.Runner.params ->
+  Ppp_apps.App.kind list ->
+  (Ppp_apps.App.kind * Ppp_hw.Engine.result) list
+
+val pair_matrix :
+  params:Ppp_core.Runner.params ->
+  solos:(Ppp_apps.App.kind * Ppp_hw.Engine.result) list ->
+  ?n_competitors:int ->
+  Ppp_apps.App.kind list ->
+  pair_result list
+(** For every ordered pair (X, Y): X co-runs with [n_competitors] (default 5)
+    flows of type Y, all on one socket with local data — the Figure 2
+    scenarios. *)
+
+val find_pair :
+  pair_result list -> target:Ppp_apps.App.kind -> competitor:Ppp_apps.App.kind ->
+  pair_result
+
+val avg_drop_per_target :
+  pair_result list -> (Ppp_apps.App.kind * float) list
+
+val pct : float -> string
+(** "12.34" for 0.1234. *)
+
+val millions : float -> string

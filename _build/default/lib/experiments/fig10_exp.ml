@@ -1,0 +1,116 @@
+open Ppp_core
+
+type combo_result = {
+  combo : Scheduler.combo;
+  best : Scheduler.evaluation;
+  worst : Scheduler.evaluation;
+}
+
+type data = { combos : combo_result list; detail : combo_result }
+
+let default_combos =
+  Ppp_apps.App.
+    [
+      [ (MON, 6); (FW, 6) ];
+      [ (IP, 6); (FW, 6) ];
+      [ (MON, 6); (VPN, 6) ];
+      [ (IP, 6); (MON, 6) ];
+      [ (RE, 6); (FW, 6) ];
+      [ (MON, 4); (RE, 4); (FW, 4) ];
+      [ (MON, 12) ];
+      [ (syn_max, 6); (FW, 6) ];
+    ]
+
+let measure ?(params = Runner.default_params) ?(combos = default_combos) () =
+  let solo_cache = ref [] in
+  let eval combo =
+    (* Collect solo baselines once across combos. *)
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem_assoc k !solo_cache) then begin
+          let r = Runner.solo ~params k in
+          solo_cache := (k, r.Ppp_hw.Engine.throughput_pps) :: !solo_cache
+        end)
+      combo;
+    let evals = Scheduler.evaluate ~params ~solo:!solo_cache combo in
+    { combo; best = Scheduler.best evals; worst = Scheduler.worst evals }
+  in
+  let combos = List.map eval combos in
+  let detail =
+    match
+      List.find_opt
+        (fun c -> c.combo = Ppp_apps.App.[ (MON, 6); (FW, 6) ])
+        combos
+    with
+    | Some c -> c
+    | None -> List.hd combos
+  in
+  { combos; detail }
+
+let is_realistic combo =
+  List.for_all
+    (fun (k, _) -> match k with Ppp_apps.App.SYN _ -> false | _ -> true)
+    combo
+
+let max_gain data =
+  List.fold_left
+    (fun acc c ->
+      if is_realistic c.combo then
+        Float.max acc (c.worst.Scheduler.avg_drop -. c.best.Scheduler.avg_drop)
+      else acc)
+    0.0 data.combos
+
+let render data =
+  let open Ppp_util in
+  let t =
+    Table.create
+      ~title:
+        "Figure 10(a): average per-flow drop (%) under best and worst \
+         placement"
+      [ "combination"; "best placement"; "worst placement"; "gain (pp)" ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [
+          Scheduler.combo_name c.combo;
+          Exp_common.pct c.best.Scheduler.avg_drop;
+          Exp_common.pct c.worst.Scheduler.avg_drop;
+          Exp_common.pct
+            (c.worst.Scheduler.avg_drop -. c.best.Scheduler.avg_drop);
+        ])
+    data.combos;
+  let detail =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Figure 10(b): per-flow drop (%%) for %s under best/worst placement"
+           (Scheduler.combo_name data.detail.combo))
+      [ "flow"; "best placement"; "worst placement" ]
+  in
+  let summarize (e : Scheduler.evaluation) =
+    (* Average drop per kind across the placement's flows. *)
+    let kinds = List.sort_uniq compare (List.map fst e.Scheduler.per_flow) in
+    List.map
+      (fun k ->
+        let ds = List.filter_map (fun (k', d) -> if k = k' then Some d else None) e.Scheduler.per_flow in
+        (k, List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds)))
+      kinds
+  in
+  let best = summarize data.detail.best and worst = summarize data.detail.worst in
+  List.iter
+    (fun (k, d) ->
+      Table.add_row detail
+        [
+          Ppp_apps.App.name k;
+          Exp_common.pct d;
+          Exp_common.pct (List.assoc k worst);
+        ])
+    best;
+  Table.to_string t ^ "\n" ^ Table.to_string detail
+  ^ Printf.sprintf
+      "\nmax overall gain from contention-aware scheduling (realistic \
+       combos) = %s%%\n"
+      (Exp_common.pct (max_gain data))
+
+let run ?params () = render (measure ?params ())

@@ -1,0 +1,25 @@
+(** Figure 10: the (small) benefit of contention-aware scheduling.
+
+    For several 12-flow combinations, every distinct flow-to-socket
+    placement is evaluated; the figure reports the average drop under the
+    best and worst placements (10a) and the per-flow breakdown for the
+    6 MON + 6 FW combination (10b). *)
+
+type combo_result = {
+  combo : Ppp_core.Scheduler.combo;
+  best : Ppp_core.Scheduler.evaluation;
+  worst : Ppp_core.Scheduler.evaluation;
+}
+
+type data = {
+  combos : combo_result list;
+  detail : combo_result;  (** the 6 MON + 6 FW combination *)
+}
+
+val default_combos : Ppp_core.Scheduler.combo list
+val measure : ?params:Ppp_core.Runner.params -> ?combos:Ppp_core.Scheduler.combo list -> unit -> data
+val render : data -> string
+val run : ?params:Ppp_core.Runner.params -> unit -> string
+
+val max_gain : data -> float
+(** Largest best-vs-worst average-drop gap across realistic combos. *)

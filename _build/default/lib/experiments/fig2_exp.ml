@@ -1,0 +1,49 @@
+open Ppp_core
+
+type data = {
+  pairs : Exp_common.pair_result list;
+  averages : (Ppp_apps.App.kind * float) list;
+}
+
+let measure ?(params = Runner.default_params) () =
+  let kinds = Exp_common.realistic in
+  let solos = Exp_common.solo_results ~params kinds in
+  let pairs = Exp_common.pair_matrix ~params ~solos kinds in
+  { pairs; averages = Exp_common.avg_drop_per_target pairs }
+
+let render data =
+  let kinds = Exp_common.realistic in
+  let open Ppp_util in
+  let t =
+    Table.create
+      ~title:
+        "Figure 2(a): performance drop (%) of target X against 5 co-runners \
+         of type Y"
+      ("target \\ co-runners"
+      :: List.map (fun k -> "5 " ^ Ppp_apps.App.name k) kinds)
+  in
+  List.iter
+    (fun target ->
+      Table.add_row t
+        (Ppp_apps.App.name target
+        :: List.map
+             (fun competitor ->
+               Exp_common.pct
+                 (Exp_common.find_pair data.pairs ~target ~competitor).Exp_common.drop)
+             kinds))
+    kinds;
+  let avg =
+    Table.create
+      ~title:"Figure 2(b): average drop (%) per target type across scenarios"
+      [ "target"; "average drop (%)" ]
+  in
+  List.iter
+    (fun k ->
+      match List.assoc_opt k data.averages with
+      | Some d ->
+          Table.add_row avg [ Ppp_apps.App.name k; Exp_common.pct d ]
+      | None -> ())
+    kinds;
+  Table.to_string t ^ "\n" ^ Table.to_string avg
+
+let run ?params () = render (measure ?params ())

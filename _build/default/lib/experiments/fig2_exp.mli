@@ -1,0 +1,11 @@
+(** Figure 2: contention-induced drop for every (target, 5 x competitor)
+    pair of realistic flow types, plus the per-target averages. *)
+
+type data = {
+  pairs : Exp_common.pair_result list;
+  averages : (Ppp_apps.App.kind * float) list;
+}
+
+val measure : ?params:Ppp_core.Runner.params -> unit -> data
+val render : data -> string
+val run : ?params:Ppp_core.Runner.params -> unit -> string

@@ -1,0 +1,65 @@
+open Ppp_core
+
+type data = (Sensitivity.resource * Sensitivity.curve list) list
+
+let default_levels =
+  List.map
+    (fun (reads, instrs) -> { Ppp_apps.App.reads; instrs })
+    [
+      (2, 80_000);
+      (8, 20_000);
+      (16, 6_000);
+      (32, 2_500);
+      (32, 1_200);
+      (64, 1_000);
+      (64, 400);
+      (128, 300);
+      (256, 0);
+    ]
+
+let measure ?(params = Runner.default_params) ?(levels = default_levels)
+    ?(targets = Exp_common.realistic) () =
+  List.map
+    (fun resource ->
+      ( resource,
+        List.map (fun k -> Sensitivity.measure ~params ~levels ~resource k) targets
+      ))
+    [ Sensitivity.Cache_only; Sensitivity.Memctrl_only; Sensitivity.Both ]
+
+let render data =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (resource, curves) ->
+      let open Ppp_util in
+      let t =
+        Table.create
+          ~title:
+            (Printf.sprintf
+               "Figure 4 (%s): drop (%%) vs competing L3 refs/sec (M)"
+               (Sensitivity.resource_name resource))
+          ("competing refs/s (M)"
+          :: List.map
+               (fun (c : Sensitivity.curve) -> Ppp_apps.App.name c.Sensitivity.target)
+               curves)
+      in
+      (* Rows: the levels of the first curve define the x grid; the other
+         curves measured the same levels so indices line up. *)
+      (match curves with
+      | [] -> ()
+      | first :: _ ->
+          List.iteri
+            (fun i (p : Sensitivity.point) ->
+              Table.add_row t
+                (Exp_common.millions p.Sensitivity.competing_refs_per_sec
+                :: List.map
+                     (fun (c : Sensitivity.curve) ->
+                       let q = List.nth c.Sensitivity.points i in
+                       Exp_common.pct q.Sensitivity.drop)
+                     curves))
+            first.Sensitivity.points);
+      Buffer.add_string buf (Table.to_string t);
+      Buffer.add_char buf '\n')
+    data;
+  Buffer.contents buf
+
+let run ?params () = render (measure ?params ())

@@ -1,0 +1,14 @@
+(** Figure 4: drop vs competing refs/sec under the three Figure 3
+    configurations (cache-only, memory-controller-only, both). *)
+
+type data = (Ppp_core.Sensitivity.resource * Ppp_core.Sensitivity.curve list) list
+
+val measure :
+  ?params:Ppp_core.Runner.params ->
+  ?levels:Ppp_apps.App.syn_params list ->
+  ?targets:Ppp_apps.App.kind list ->
+  unit ->
+  data
+
+val render : data -> string
+val run : ?params:Ppp_core.Runner.params -> unit -> string

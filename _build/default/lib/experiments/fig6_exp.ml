@@ -1,0 +1,66 @@
+open Ppp_core
+
+type data = {
+  deltas : float list;
+  curve_samples : (float * float list) list;
+  app_points : (Ppp_apps.App.kind * float * float) list;
+}
+
+let deltas = [ 30e-9; Equation1.paper_delta; 60e-9 ]
+
+let measure ?(params = Runner.default_params) () =
+  let profiles = Profile.table1 ~params Exp_common.realistic in
+  let max_hits =
+    List.fold_left
+      (fun acc (p : Profile.t) -> Float.max acc p.Profile.l3_hits_per_sec)
+      10e6 profiles
+    *. 1.5
+  in
+  let samples = 13 in
+  let curve_samples =
+    List.init samples (fun i ->
+        let h = max_hits *. float_of_int i /. float_of_int (samples - 1) in
+        (h, List.map (fun d -> Equation1.max_drop ~delta:d ~hits_per_sec:h) deltas))
+  in
+  let app_points =
+    List.map
+      (fun (p : Profile.t) ->
+        ( p.Profile.kind,
+          p.Profile.l3_hits_per_sec,
+          Equation1.max_drop ~delta:Equation1.paper_delta
+            ~hits_per_sec:p.Profile.l3_hits_per_sec ))
+      profiles
+  in
+  { deltas; curve_samples; app_points }
+
+let render data =
+  let open Ppp_util in
+  let t =
+    Table.create
+      ~title:
+        "Figure 6: worst-case drop (%) vs solo cache hits/sec (Equation 1, \
+         kappa = 1)"
+      ("hits/s (M)"
+      :: List.map (fun d -> Printf.sprintf "delta=%.2fns" (d *. 1e9)) data.deltas)
+  in
+  List.iter
+    (fun (h, drops) ->
+      Table.add_row t
+        (Exp_common.millions h :: List.map Exp_common.pct drops))
+    data.curve_samples;
+  let pts =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Application points (delta = %.2fns): worst-case drop bound"
+           (Equation1.paper_delta *. 1e9))
+      [ "flow"; "solo hits/s (M)"; "max drop (%)" ]
+  in
+  List.iter
+    (fun (k, h, d) ->
+      Table.add_row pts
+        [ Ppp_apps.App.name k; Exp_common.millions h; Exp_common.pct d ])
+    data.app_points;
+  Table.to_string t ^ "\n" ^ Table.to_string pts
+
+let run ?params () = render (measure ?params ())

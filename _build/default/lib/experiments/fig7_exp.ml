@@ -1,0 +1,103 @@
+open Ppp_core
+
+type row = {
+  competing_refs_per_sec : float;
+  measured : float;
+  per_fn : (string * float) list;
+  model : float;
+}
+
+type data = { target : Ppp_apps.App.kind; rows : row list }
+
+let tracked_fns =
+  [ "radix_ip_lookup"; "flow_statistics"; "check_ip_header"; "skb_recycle" ]
+
+let hits_per_packet (r : Ppp_hw.Engine.result) fn_name =
+  let c = r.Ppp_hw.Engine.counters in
+  let packets = float_of_int (max 1 r.Ppp_hw.Engine.packets) in
+  let fn = Ppp_hw.Fn.register fn_name in
+  float_of_int (Ppp_hw.Counters.fn_l3_hits c fn) /. packets
+
+let overall_hits_per_packet (r : Ppp_hw.Engine.result) =
+  let c = r.Ppp_hw.Engine.counters in
+  float_of_int (Ppp_hw.Counters.l3_hits c)
+  /. float_of_int (max 1 r.Ppp_hw.Engine.packets)
+
+let conversion ~solo ~corun = if solo <= 0.0 then 0.0 else Float.max 0.0 (1.0 -. (corun /. solo))
+
+let measure ?(params = Runner.default_params) () =
+  let target = Ppp_apps.App.MON in
+  let solo = Runner.solo ~params target in
+  let config = params.Runner.config in
+  let l3_lines =
+    Ppp_hw.Machine.l3_bytes config / Ppp_hw.Machine.line_bytes config
+  in
+  let chunks =
+    Ppp_apps.App.working_set_bytes target ~scale:config.Ppp_hw.Machine.scale / 64
+  in
+  let rows =
+    List.map
+      (fun level ->
+        let specs =
+          Sensitivity.placement ~config Sensitivity.Cache_only ~n_competitors:5
+            ~competitor:(Ppp_apps.App.SYN level) ~target
+        in
+        match Runner.run ~params specs with
+        | t :: competitors ->
+            let competing =
+              List.fold_left
+                (fun acc (r : Ppp_hw.Engine.result) ->
+                  acc +. r.Ppp_hw.Engine.l3_refs_per_sec)
+                0.0 competitors
+            in
+            {
+              competing_refs_per_sec = competing;
+              measured =
+                conversion
+                  ~solo:(overall_hits_per_packet solo)
+                  ~corun:(overall_hits_per_packet t);
+              per_fn =
+                List.map
+                  (fun fn ->
+                    ( fn,
+                      conversion
+                        ~solo:(hits_per_packet solo fn)
+                        ~corun:(hits_per_packet t fn) ))
+                  tracked_fns;
+              model =
+                Cache_model.conversion_rate ~cache_lines:l3_lines ~chunks
+                  ~target_hits_per_sec:solo.Ppp_hw.Engine.l3_hits_per_sec
+                  ~competing_refs_per_sec:competing;
+            }
+        | [] -> assert false)
+      Sensitivity.default_syn_levels
+  in
+  let rows =
+    List.sort (fun a b -> compare a.competing_refs_per_sec b.competing_refs_per_sec) rows
+  in
+  { target; rows }
+
+let render data =
+  let open Ppp_util in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Figure 7: hit-to-miss conversion (%%) of a %s flow vs cache \
+            competition"
+           (Ppp_apps.App.name data.target))
+      ([ "competing refs/s (M)"; "measured"; "model" ] @ tracked_fns)
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        ([
+           Exp_common.millions r.competing_refs_per_sec;
+           Exp_common.pct r.measured;
+           Exp_common.pct r.model;
+         ]
+        @ List.map (fun (_, v) -> Exp_common.pct v) r.per_fn))
+    data.rows;
+  Table.to_string t
+
+let run ?params () = render (measure ?params ())

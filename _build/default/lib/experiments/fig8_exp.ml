@@ -1,0 +1,110 @@
+open Ppp_core
+
+type cell = {
+  target : Ppp_apps.App.kind;
+  competitor : Ppp_apps.App.kind;
+  measured_drop : float;
+  predicted_drop : float;
+  perfect_drop : float;
+}
+
+type data = {
+  cells : cell list;
+  avg_error : (Ppp_apps.App.kind * float) list;
+  avg_error_perfect : (Ppp_apps.App.kind * float) list;
+}
+
+let measure ?(params = Runner.default_params) () =
+  let kinds = Exp_common.realistic in
+  let predictor = Predictor.build ~params ~targets:kinds () in
+  let solos = Exp_common.solo_results ~params kinds in
+  let pairs = Exp_common.pair_matrix ~params ~solos kinds in
+  let cells =
+    List.map
+      (fun (p : Exp_common.pair_result) ->
+        let competitors = List.init 5 (fun _ -> p.Exp_common.competitor) in
+        {
+          target = p.Exp_common.target;
+          competitor = p.Exp_common.competitor;
+          measured_drop = p.Exp_common.drop;
+          predicted_drop =
+            Predictor.predict_drop predictor ~target:p.Exp_common.target
+              ~competitors;
+          perfect_drop =
+            Predictor.predict_drop_at predictor ~target:p.Exp_common.target
+              ~refs_per_sec:p.Exp_common.competing_refs_per_sec;
+        })
+      pairs
+  in
+  let avg f =
+    List.map
+      (fun t ->
+        let errors =
+          List.filter_map
+            (fun c -> if c.target = t then Some (Float.abs (f c)) else None)
+            cells
+        in
+        ( t,
+          List.fold_left ( +. ) 0.0 errors
+          /. float_of_int (List.length errors) ))
+      kinds
+  in
+  {
+    cells;
+    avg_error = avg (fun c -> c.predicted_drop -. c.measured_drop);
+    avg_error_perfect = avg (fun c -> c.perfect_drop -. c.measured_drop);
+  }
+
+let max_abs_error data =
+  List.fold_left
+    (fun acc c -> Float.max acc (Float.abs (c.predicted_drop -. c.measured_drop)))
+    0.0 data.cells
+
+let render data =
+  let open Ppp_util in
+  let t =
+    Table.create
+      ~title:
+        "Figure 8(a,b): prediction error (percentage points; positive = \
+         overestimated drop)"
+      [
+        "target";
+        "competitors";
+        "measured (%)";
+        "predicted (%)";
+        "error";
+        "perfect-knowledge (%)";
+        "error (perfect)";
+      ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [
+          Ppp_apps.App.name c.target;
+          "5 " ^ Ppp_apps.App.name c.competitor;
+          Exp_common.pct c.measured_drop;
+          Exp_common.pct c.predicted_drop;
+          Exp_common.pct (c.predicted_drop -. c.measured_drop);
+          Exp_common.pct c.perfect_drop;
+          Exp_common.pct (c.perfect_drop -. c.measured_drop);
+        ])
+    data.cells;
+  let avg =
+    Table.create
+      ~title:"Figure 8(c): average absolute prediction error per target"
+      [ "target"; "our prediction"; "perfect knowledge" ]
+  in
+  List.iter
+    (fun (k, e) ->
+      Table.add_row avg
+        [
+          Ppp_apps.App.name k;
+          Exp_common.pct e;
+          Exp_common.pct (List.assoc k data.avg_error_perfect);
+        ])
+    data.avg_error;
+  Table.to_string t ^ "\n" ^ Table.to_string avg
+  ^ Printf.sprintf "\nmax |error| = %s%%\n" (Exp_common.pct (max_abs_error data))
+
+let run ?params () = render (measure ?params ())

@@ -1,0 +1,64 @@
+open Ppp_core
+
+type flow_check = {
+  kind : Ppp_apps.App.kind;
+  measured_drop : float;
+  predicted_drop : float;
+}
+
+type data = { flows : flow_check list; max_error : float }
+
+let mix =
+  Ppp_apps.App.[ MON; MON; VPN; VPN; FW; RE ]
+
+let measure ?(params = Runner.default_params) () =
+  let kinds = List.sort_uniq compare mix in
+  let predictor = Predictor.build ~params ~targets:kinds () in
+  let specs =
+    List.mapi (fun i kind -> { Runner.kind; core = i; data_node = 0 }) mix
+  in
+  let results = Runner.run ~params specs in
+  let solos = Exp_common.solo_results ~params kinds in
+  let flows =
+    List.map2
+      (fun kind (r : Ppp_hw.Engine.result) ->
+        let solo = List.assoc kind solos in
+        let competitors = List.filteri (fun i _ -> i <> r.Ppp_hw.Engine.core) mix in
+        {
+          kind;
+          measured_drop = Runner.drop ~solo ~corun:r;
+          predicted_drop =
+            Predictor.predict_drop predictor ~target:kind ~competitors;
+        })
+      mix results
+  in
+  let max_error =
+    List.fold_left
+      (fun acc f -> Float.max acc (Float.abs (f.predicted_drop -. f.measured_drop)))
+      0.0 flows
+  in
+  { flows; max_error }
+
+let render data =
+  let open Ppp_util in
+  let t =
+    Table.create
+      ~title:
+        "Figure 9: mixed workload (2 MON, 2 VPN, 1 FW, 1 RE) — measured vs \
+         predicted drop"
+      [ "flow"; "measured (%)"; "predicted (%)"; "abs error" ]
+  in
+  List.iter
+    (fun f ->
+      Table.add_row t
+        [
+          Ppp_apps.App.name f.kind;
+          Exp_common.pct f.measured_drop;
+          Exp_common.pct f.predicted_drop;
+          Exp_common.pct (Float.abs (f.predicted_drop -. f.measured_drop));
+        ])
+    data.flows;
+  Table.to_string t
+  ^ Printf.sprintf "\nmax |error| = %s%%\n" (Exp_common.pct data.max_error)
+
+let run ?params () = render (measure ?params ())

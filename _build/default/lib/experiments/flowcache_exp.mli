@@ -1,0 +1,24 @@
+(** Extension: what does an exact-match fast path do under contention?
+
+    A flow cache in front of the LPM trie lets most packets (of a
+    convergent flow universe) skip the trie walk. Its own lines live in the
+    contended L3, but its footprint is much smaller than the trie's — so
+    under aggressive co-runners the fast path's *relative* advantage grows:
+    every avoided trie reference is a reference whose cost contention just
+    inflated. Shrinking a flow's reference footprint is thus a
+    contention-mitigation lever (it also lowers the flow's own
+    aggressiveness, cf. Section 4's throttling discussion). *)
+
+type cell = {
+  scenario : string;  (** "solo" or "vs 5 SYN_MAX" *)
+  plain_pps : float;  (** IP forwarding via the trie *)
+  cached_pps : float;  (** IP forwarding via flow cache + trie *)
+  speedup : float;  (** cached / plain *)
+  hit_rate : float;  (** flow-cache hit rate in the cached run *)
+}
+
+type data = { cells : cell list }
+
+val measure : ?params:Ppp_core.Runner.params -> unit -> data
+val render : data -> string
+val run : ?params:Ppp_core.Runner.params -> unit -> string

@@ -1,0 +1,82 @@
+open Ppp_core
+
+type row = {
+  scenario : string;
+  throughput_pps : float;
+  mean_cycles : float;
+  p50_cycles : int;
+  p99_cycles : int;
+  max_cycles : int;
+}
+
+type data = { target : Ppp_apps.App.kind; rows : row list }
+
+let row_of scenario (r : Ppp_hw.Engine.result) =
+  let h = r.Ppp_hw.Engine.latency in
+  {
+    scenario;
+    throughput_pps = r.Ppp_hw.Engine.throughput_pps;
+    mean_cycles = Ppp_util.Histogram.mean h;
+    p50_cycles = Ppp_util.Histogram.percentile h 50.0;
+    p99_cycles = Ppp_util.Histogram.percentile h 99.0;
+    max_cycles = Ppp_util.Histogram.max_value h;
+  }
+
+let measure ?(params = Runner.default_params) () =
+  let target = Ppp_apps.App.MON in
+  let solo = Runner.solo ~params target in
+  let corun competitor label =
+    let specs =
+      Sensitivity.placement ~config:params.Runner.config Sensitivity.Both
+        ~n_competitors:
+          (min 5 (Ppp_hw.Machine.cores_per_socket params.Runner.config - 1))
+        ~competitor ~target
+    in
+    match Runner.run ~params specs with
+    | t :: _ -> row_of label t
+    | [] -> assert false
+  in
+  {
+    target;
+    rows =
+      [
+        row_of "solo" solo;
+        corun Ppp_apps.App.FW "vs 5 FW (mild)";
+        corun Ppp_apps.App.MON "vs 5 MON";
+        corun Ppp_apps.App.RE "vs 5 RE (aggressive)";
+        corun Ppp_apps.App.syn_max "vs 5 SYN_MAX";
+      ];
+  }
+
+let render data =
+  let open Ppp_util in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Per-packet latency of a %s flow under increasing contention \
+            (cycles)"
+           (Ppp_apps.App.name data.target))
+      [ "scenario"; "pps"; "mean"; "p50"; "p99"; "max" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.scenario;
+          Printf.sprintf "%.0f" r.throughput_pps;
+          Printf.sprintf "%.0f" r.mean_cycles;
+          string_of_int r.p50_cycles;
+          string_of_int r.p99_cycles;
+          string_of_int r.max_cycles;
+        ])
+    data.rows;
+  let solo = List.hd data.rows in
+  let worst = List.nth data.rows (List.length data.rows - 1) in
+  Table.to_string t
+  ^ Printf.sprintf
+      "\ncontention inflated the median %.1fx but the p99 tail %.1fx.\n"
+      (float_of_int worst.p50_cycles /. float_of_int (max 1 solo.p50_cycles))
+      (float_of_int worst.p99_cycles /. float_of_int (max 1 solo.p99_cycles))
+
+let run ?params () = render (measure ?params ())

@@ -1,0 +1,199 @@
+open Ppp_core
+
+type side = {
+  label : string;
+  throughput_pps : float;
+  per_core_pps : float;
+  l3_refs_per_packet : float;
+  l3_misses_per_packet : float;
+  cores : int;
+}
+
+type data = {
+  ip_parallel : side;
+  ip_pipeline : side;
+  extra_refs_per_packet : float;
+  syn_parallel : side;
+  syn_pipeline : side;
+}
+
+let side_of_results label results =
+  let packets =
+    List.fold_left
+      (fun acc (r : Ppp_hw.Engine.result) -> acc + r.Ppp_hw.Engine.packets)
+      0 results
+  in
+  let misses =
+    List.fold_left
+      (fun acc (r : Ppp_hw.Engine.result) ->
+        acc + Ppp_hw.Counters.l3_misses r.Ppp_hw.Engine.counters)
+      0 results
+  in
+  let refs =
+    List.fold_left
+      (fun acc (r : Ppp_hw.Engine.result) ->
+        acc + Ppp_hw.Counters.l3_refs r.Ppp_hw.Engine.counters)
+      0 results
+  in
+  let pps =
+    List.fold_left
+      (fun acc (r : Ppp_hw.Engine.result) ->
+        acc +. r.Ppp_hw.Engine.throughput_pps)
+      0.0 results
+  in
+  let cores = List.length results in
+  {
+    label;
+    throughput_pps = pps;
+    per_core_pps = pps /. float_of_int cores;
+    l3_refs_per_packet = float_of_int refs /. float_of_int (max 1 packets);
+    l3_misses_per_packet = float_of_int misses /. float_of_int (max 1 packets);
+    cores;
+  }
+
+(* Parallel approach: one core performs the whole chain for its flow. *)
+let run_parallel ~params ~mk_flow =
+  let config = params.Runner.config in
+  let hier = Ppp_hw.Machine.build config in
+  let heap = Ppp_simmem.Heap.create ~node:0 in
+  let rng = Ppp_util.Rng.create ~seed:params.Runner.seed in
+  let source = mk_flow ~heap ~rng:(Ppp_util.Rng.split rng) in
+  let flows = [ { Ppp_hw.Engine.core = 0; label = "parallel"; source } ] in
+  Ppp_hw.Engine.run hier ~flows ~warmup_cycles:params.Runner.warmup_cycles
+    ~measure_cycles:params.Runner.measure_cycles
+
+(* Pipeline: one staged flow across two cores. *)
+let run_pipeline ~params ~cores ~mk_staged =
+  let config = params.Runner.config in
+  let hier = Ppp_hw.Machine.build config in
+  let heaps =
+    Array.init config.Ppp_hw.Machine.topology.Ppp_hw.Topology.sockets
+      (fun node -> Ppp_simmem.Heap.create ~node)
+  in
+  let rng = Ppp_util.Rng.create ~seed:params.Runner.seed in
+  let staged = mk_staged ~heaps ~rng in
+  let sources = Ppp_click.Staged.sources staged in
+  let flows =
+    List.mapi
+      (fun i core ->
+        { Ppp_hw.Engine.core; label = Printf.sprintf "stage%d" i; source = sources.(i) })
+      cores
+  in
+  Ppp_hw.Engine.run hier ~flows ~warmup_cycles:params.Runner.warmup_cycles
+    ~measure_cycles:params.Runner.measure_cycles
+
+let measure ?(params = Runner.default_params) () =
+  let config = params.Runner.config in
+  let scale = config.Ppp_hw.Machine.scale in
+  let l3 = Ppp_hw.Machine.l3_bytes config in
+  (* --- IP forwarding: parallel wins. --- *)
+  let mk_ip_flow ~heap ~rng =
+    let b = Ppp_apps.App.build Ppp_apps.App.IP ~heap ~rng ~scale in
+    Ppp_click.Flow.source
+      (Ppp_click.Flow.create ~heap ~rng ~label:"IP" ~gen:b.Ppp_apps.App.gen
+         ~elements:b.Ppp_apps.App.elements ())
+  in
+  let ip_par = side_of_results "IP parallel (1 core)" (run_parallel ~params ~mk_flow:mk_ip_flow) in
+  let mk_ip_staged ~heaps ~rng =
+    let b = Ppp_apps.App.build Ppp_apps.App.IP ~heap:heaps.(0) ~rng ~scale in
+    let stage0, stage1 =
+      match b.Ppp_apps.App.elements with
+      | first :: rest -> ([ first ], rest)
+      | [] -> assert false
+    in
+    Ppp_click.Staged.create ~heap:heaps.(0) ~rng ~label:"IP-pipe"
+      ~gen:b.Ppp_apps.App.gen
+      ~stages:[ stage0; stage1 ] ()
+  in
+  let ip_pipe =
+    side_of_results "IP pipeline (2 cores)"
+      (run_pipeline ~params ~cores:[ 0; 1 ] ~mk_staged:mk_ip_staged)
+  in
+  (* --- Contrived SYN workload: pipeline wins. ---
+     Parallel: each core makes many random reads into a structure twice the
+     L3. Pipeline: the structure is split in half across the two sockets'
+     caches, each stage handling its half. *)
+  let reads_total = 200 in
+  let syn_buffer = 2 * l3 in
+  let mk_syn_flow ~heap ~rng =
+    let syn =
+      Ppp_apps.More_elements.Syn.create ~heap ~rng ~buffer_bytes:syn_buffer
+        ~reads_per_packet:reads_total ~instrs_per_packet:100
+    in
+    let gen pkt =
+      Ppp_traffic.Gen.fill_ipv4_udp pkt ~src:0x0A000001 ~dst:0x0A000002
+        ~sport:7 ~dport:7 ~wire_len:64
+    in
+    Ppp_click.Flow.source
+      (Ppp_click.Flow.create ~heap ~rng ~label:"SYN2x" ~gen
+         ~elements:[ Ppp_apps.More_elements.Syn.element syn ] ())
+  in
+  let syn_par =
+    side_of_results "SYN-2xL3 parallel (1 core)"
+      (run_parallel ~params ~mk_flow:mk_syn_flow)
+  in
+  let mk_syn_staged ~heaps ~rng =
+    let half node =
+      Ppp_apps.More_elements.Syn.create ~heap:heaps.(node)
+        ~rng:(Ppp_util.Rng.split rng)
+        ~buffer_bytes:(l3 * 9 / 10) ~reads_per_packet:(reads_total / 2)
+        ~instrs_per_packet:50
+    in
+    let gen pkt =
+      Ppp_traffic.Gen.fill_ipv4_udp pkt ~src:0x0A000001 ~dst:0x0A000002
+        ~sport:7 ~dport:7 ~wire_len:64
+    in
+    Ppp_click.Staged.create ~heap:heaps.(0) ~rng ~label:"SYN-pipe" ~gen
+      ~stages:
+        [
+          [ Ppp_apps.More_elements.Syn.element (half 0) ];
+          [ Ppp_apps.More_elements.Syn.element (half 1) ];
+        ]
+      ()
+  in
+  let cps = Ppp_hw.Machine.cores_per_socket config in
+  let syn_pipe =
+    side_of_results "SYN-2xL3 pipeline (2 sockets)"
+      (run_pipeline ~params ~cores:[ 0; cps ] ~mk_staged:mk_syn_staged)
+  in
+  {
+    ip_parallel = ip_par;
+    ip_pipeline = ip_pipe;
+    extra_refs_per_packet =
+      ip_pipe.l3_refs_per_packet -. ip_par.l3_refs_per_packet;
+    syn_parallel = syn_par;
+    syn_pipeline = syn_pipe;
+  }
+
+let render data =
+  let open Ppp_util in
+  let t =
+    Table.create
+      ~title:"Section 2.2: parallel vs pipelined parallelization"
+      [ "configuration"; "cores"; "throughput (pps)"; "pps/core";
+        "L3 refs/packet"; "L3 misses/packet" ]
+  in
+  List.iter
+    (fun s ->
+      Table.add_row t
+        [
+          s.label;
+          string_of_int s.cores;
+          Printf.sprintf "%.0f" s.throughput_pps;
+          Printf.sprintf "%.0f" s.per_core_pps;
+          Table.cell_f s.l3_refs_per_packet;
+          Table.cell_f s.l3_misses_per_packet;
+        ])
+    [ data.ip_parallel; data.ip_pipeline; data.syn_parallel; data.syn_pipeline ];
+  Table.to_string t
+  ^ Printf.sprintf
+      "\npipelining the IP workload costs %.1f extra L3 refs/packet and %.1f%% \
+       of per-core throughput;\nthe contrived 2xL3 workload gains %.1fx \
+       per-core from pipelining across sockets.\n"
+      data.extra_refs_per_packet
+      (100.0
+      *. (data.ip_parallel.per_core_pps -. data.ip_pipeline.per_core_pps)
+      /. data.ip_parallel.per_core_pps)
+      (data.syn_pipeline.per_core_pps /. data.syn_parallel.per_core_pps)
+
+let run ?params () = render (measure ?params ())

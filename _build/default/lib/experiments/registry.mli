@@ -1,0 +1,13 @@
+(** The experiment index: every table/figure of the paper mapped to a
+    runnable driver. *)
+
+type t = {
+  id : string;  (** e.g. "table1", "fig4" *)
+  title : string;
+  paper_ref : string;
+  run : ?params:Ppp_core.Runner.params -> unit -> string;
+}
+
+val all : t list
+val find : string -> t option
+val ids : unit -> string list

@@ -1,0 +1,7 @@
+open Ppp_core
+
+let profiles ?(params = Runner.default_params) () =
+  Profile.table1 ~params (Ppp_apps.App.realistic @ [ Ppp_apps.App.syn_max ])
+
+let run ?params () =
+  Ppp_util.Table.to_string (Profile.to_table (profiles ?params ()))

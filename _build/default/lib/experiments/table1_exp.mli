@@ -1,0 +1,4 @@
+(** Table 1: solo-run characteristics of each packet-processing type. *)
+
+val run : ?params:Ppp_core.Runner.params -> unit -> string
+val profiles : ?params:Ppp_core.Runner.params -> unit -> Ppp_core.Profile.t list

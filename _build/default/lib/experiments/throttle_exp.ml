@@ -1,0 +1,130 @@
+open Ppp_core
+
+type data = {
+  victim_solo_pps : float;
+  victim_with_tame_pps : float;
+  victim_with_loud_pps : float;
+  victim_with_throttled_pps : float;
+  attacker_refs_budget : float;
+  attacker_loud_refs : float;
+  attacker_throttled_refs : float;
+}
+
+let n_attackers = 5
+
+let run_scenario ~params ~switch_after ~throttle_budget =
+  let config = params.Runner.config in
+  let scale = config.Ppp_hw.Machine.scale in
+  let hier = Ppp_hw.Machine.build config in
+  let heap = Ppp_simmem.Heap.create ~node:0 in
+  let rng = Ppp_util.Rng.create ~seed:params.Runner.seed in
+  let victim =
+    Ppp_apps.App.flow Ppp_apps.App.MON ~heap ~rng:(Ppp_util.Rng.split rng)
+      ~scale ~label:"MON" ()
+  in
+  let freq_hz = config.Ppp_hw.Machine.costs.Ppp_hw.Costs.freq_hz in
+  let attackers =
+    List.init n_attackers (fun i ->
+        let elements =
+          Throttle.Two_faced.elements ~heap ~rng:(Ppp_util.Rng.split rng)
+            ~buffer_bytes:(12 * 1024 * 1024 / scale)
+            ~quiet_reads:4 ~loud_reads:256 ~switch_after
+        in
+        let flow =
+          Ppp_click.Flow.create ~heap ~rng:(Ppp_util.Rng.split rng)
+            ~label:"two-faced" ~gen:Throttle.Two_faced.gen ~elements ()
+        in
+        let source = Ppp_click.Flow.source flow in
+        let source =
+          match throttle_budget with
+          | None -> source
+          | Some budget ->
+              (* Meter the quantity the paper's prediction uses: L3 refs/sec
+                 read from the core's hardware counters. *)
+              Throttle.l3_budget_source ~budget_l3_refs_per_sec:budget ~hier
+                ~core:(1 + i) ~freq_hz source
+        in
+        { Ppp_hw.Engine.core = 1 + i; label = "two-faced"; source })
+  in
+  let flows =
+    { Ppp_hw.Engine.core = 0; label = "MON"; source = Ppp_click.Flow.source victim }
+    :: attackers
+  in
+  Ppp_hw.Engine.run hier ~flows ~warmup_cycles:params.Runner.warmup_cycles
+    ~measure_cycles:params.Runner.measure_cycles
+
+
+let measure ?(params = Runner.default_params) () =
+  let never = max_int in
+  let solo = Runner.solo ~params Ppp_apps.App.MON in
+  let tame = run_scenario ~params ~switch_after:never ~throttle_budget:None in
+  let loud = run_scenario ~params ~switch_after:0 ~throttle_budget:None in
+  let victim_tame = List.hd tame and victim_loud = List.hd loud in
+  (* The profiled budget: the tame attackers' observed reference rate. *)
+  let budget =
+    match tame with
+    | _ :: (a : Ppp_hw.Engine.result) :: _ ->
+        a.Ppp_hw.Engine.l3_refs_per_sec *. 1.05
+    | _ -> assert false
+  in
+  let throttled =
+    run_scenario ~params ~switch_after:0 ~throttle_budget:(Some budget)
+  in
+  let victim_throttled = List.hd throttled in
+  let attacker_rate results =
+    match results with
+    | _ :: (a : Ppp_hw.Engine.result) :: _ -> a.Ppp_hw.Engine.l3_refs_per_sec
+    | _ -> 0.0
+  in
+  {
+    victim_solo_pps = solo.Ppp_hw.Engine.throughput_pps;
+    victim_with_tame_pps = victim_tame.Ppp_hw.Engine.throughput_pps;
+    victim_with_loud_pps = victim_loud.Ppp_hw.Engine.throughput_pps;
+    victim_with_throttled_pps = victim_throttled.Ppp_hw.Engine.throughput_pps;
+    attacker_refs_budget = budget;
+    attacker_loud_refs = attacker_rate loud;
+    attacker_throttled_refs = attacker_rate throttled;
+  }
+
+let render d =
+  let drop x = Exp_common.pct ((d.victim_solo_pps -. x) /. d.victim_solo_pps) in
+  let open Ppp_util in
+  let t =
+    Table.create
+      ~title:
+        "Section 4: containing hidden aggressiveness (victim = MON, 5 \
+         two-faced co-runners)"
+      [ "scenario"; "victim pps"; "victim drop (%)"; "attacker refs/s (M)" ]
+  in
+  Table.add_row t
+    [ "victim solo"; Printf.sprintf "%.0f" d.victim_solo_pps; "0.00"; "-" ];
+  Table.add_row t
+    [
+      "attackers as profiled (tame)";
+      Printf.sprintf "%.0f" d.victim_with_tame_pps;
+      drop d.victim_with_tame_pps;
+      Exp_common.millions (d.attacker_refs_budget /. 1.05);
+    ];
+  Table.add_row t
+    [
+      "attackers switch to SYN_MAX";
+      Printf.sprintf "%.0f" d.victim_with_loud_pps;
+      drop d.victim_with_loud_pps;
+      Exp_common.millions d.attacker_loud_refs;
+    ];
+  Table.add_row t
+    [
+      "switched but throttled to profile";
+      Printf.sprintf "%.0f" d.victim_with_throttled_pps;
+      drop d.victim_with_throttled_pps;
+      Exp_common.millions d.attacker_throttled_refs;
+    ];
+  Table.to_string t
+  ^ Printf.sprintf
+      "\nthrottle budget %.1fM refs/s; throttled attackers stayed at %.1fM \
+       refs/s (within budget: %b)\n"
+      (d.attacker_refs_budget /. 1e6)
+      (d.attacker_throttled_refs /. 1e6)
+      (d.attacker_throttled_refs <= d.attacker_refs_budget *. 1.02)
+
+let run ?params () = render (measure ?params ())

@@ -1,0 +1,1 @@
+lib/hw/counters.ml: Array Fn Format

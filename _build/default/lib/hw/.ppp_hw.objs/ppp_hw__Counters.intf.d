@@ -1,0 +1,1 @@
+lib/hw/counters.mli: Fn Format

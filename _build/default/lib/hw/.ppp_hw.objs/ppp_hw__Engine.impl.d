@@ -1,0 +1,1 @@
+lib/hw/engine.ml: Array Costs Counters Hashtbl Hierarchy List Ppp_util Trace

@@ -1,0 +1,1 @@
+lib/hw/fn.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/hw/hierarchy.ml: Array Cache Costs Counters Memctrl Topology

@@ -1,0 +1,1 @@
+lib/hw/hierarchy.mli: Cache Costs Counters Fn Topology

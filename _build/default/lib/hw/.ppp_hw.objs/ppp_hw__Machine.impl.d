@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Cache Costs Hierarchy List Topology

@@ -1,0 +1,1 @@
+lib/hw/trace.ml: Array Fn

@@ -1,0 +1,138 @@
+type geometry = { size_bytes : int; ways : int; line_bytes : int }
+
+type t = {
+  geo : geometry;
+  nsets : int;
+  line_shift : int;
+  tags : int array; (* nsets * ways; -1 = invalid; otherwise the line number *)
+  stamp : int array; (* LRU timestamps *)
+  dirty_bits : Bytes.t;
+  auxs : int array;
+  mutable tick : int;
+  mutable valid : int;
+}
+
+type slot = int (* index into the flat way arrays *)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc v = if v = 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 n
+
+let create geo =
+  if not (is_pow2 geo.line_bytes) then
+    invalid_arg "Cache.create: line_bytes must be a power of two";
+  if geo.ways <= 0 then invalid_arg "Cache.create: ways must be positive";
+  if geo.size_bytes mod (geo.ways * geo.line_bytes) <> 0 then
+    invalid_arg "Cache.create: size not divisible by ways * line_bytes";
+  let nsets = geo.size_bytes / (geo.ways * geo.line_bytes) in
+  if not (is_pow2 nsets) then
+    invalid_arg "Cache.create: set count must be a power of two";
+  let n = nsets * geo.ways in
+  {
+    geo;
+    nsets;
+    line_shift = log2 geo.line_bytes;
+    tags = Array.make n (-1);
+    stamp = Array.make n 0;
+    dirty_bits = Bytes.make n '\000';
+    auxs = Array.make n 0;
+    tick = 0;
+    valid = 0;
+  }
+
+let geometry t = t.geo
+let sets t = t.nsets
+let lines t = t.nsets * t.geo.ways
+let line_of_addr t addr = addr lsr t.line_shift
+let set_of_line t line = line land (t.nsets - 1)
+let base t line = set_of_line t line * t.geo.ways
+
+let find_way t line =
+  let b = base t line in
+  let rec go w =
+    if w = t.geo.ways then None
+    else if t.tags.(b + w) = line then Some (b + w)
+    else go (w + 1)
+  in
+  go 0
+
+let touch t i =
+  t.tick <- t.tick + 1;
+  t.stamp.(i) <- t.tick
+
+let find t line =
+  match find_way t line with
+  | Some i ->
+      touch t i;
+      Some i
+  | None -> None
+
+let probe = find_way
+let dirty t i = Bytes.get t.dirty_bits i <> '\000'
+let set_dirty t i d = Bytes.set t.dirty_bits i (if d then '\001' else '\000')
+let aux t i = t.auxs.(i)
+let set_aux t i v = t.auxs.(i) <- v
+
+type eviction = { victim_line : int; victim_dirty : bool; victim_aux : int }
+
+let insert t ?(dirty = false) ?(aux = 0) line =
+  (match find_way t line with
+  | Some _ -> invalid_arg "Cache.insert: line already resident"
+  | None -> ());
+  let b = base t line in
+  (* Pick an invalid way, else the LRU way. *)
+  let victim = ref (-1) in
+  let lru = ref b in
+  for w = 0 to t.geo.ways - 1 do
+    let i = b + w in
+    if t.tags.(i) = -1 && !victim = -1 then victim := i;
+    if t.stamp.(i) < t.stamp.(!lru) then lru := i
+  done;
+  let i, evicted =
+    if !victim >= 0 then (!victim, None)
+    else
+      ( !lru,
+        Some
+          {
+            victim_line = t.tags.(!lru);
+            victim_dirty = Bytes.get t.dirty_bits !lru <> '\000';
+            victim_aux = t.auxs.(!lru);
+          } )
+  in
+  if evicted = None then t.valid <- t.valid + 1;
+  t.tags.(i) <- line;
+  set_dirty t i dirty;
+  t.auxs.(i) <- aux;
+  touch t i;
+  evicted
+
+let invalidate t line =
+  match find_way t line with
+  | None -> None
+  | Some i ->
+      let d = dirty t i and a = t.auxs.(i) in
+      t.tags.(i) <- -1;
+      t.stamp.(i) <- 0;
+      set_dirty t i false;
+      t.auxs.(i) <- 0;
+      t.valid <- t.valid - 1;
+      Some (d, a)
+
+let resident t line = find_way t line <> None
+let occupancy t = t.valid
+
+let iter_resident t f =
+  for i = 0 to Array.length t.tags - 1 do
+    if t.tags.(i) <> -1 then
+      f t.tags.(i) ~dirty:(dirty t i) ~aux:t.auxs.(i)
+  done
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamp 0 (Array.length t.stamp) 0;
+  Bytes.fill t.dirty_bits 0 (Bytes.length t.dirty_bits) '\000';
+  Array.fill t.auxs 0 (Array.length t.auxs) 0;
+  t.tick <- 0;
+  t.valid <- 0

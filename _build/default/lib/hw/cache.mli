@@ -1,0 +1,60 @@
+(** A set-associative cache with true-LRU replacement.
+
+    The cache tracks line residency and dirtiness only (simulation is
+    timing-directed; data lives in the instrumented OCaml structures). Each
+    resident line carries an auxiliary integer usable by the owner: the
+    shared L3 stores directory presence bits there, private caches store an
+    exclusivity flag. *)
+
+type t
+
+type geometry = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;  (** must be a power of two *)
+}
+
+val create : geometry -> t
+(** Raises [Invalid_argument] if the geometry is inconsistent (sizes not
+    divisible by ways*line, set count not a power of two). *)
+
+val geometry : t -> geometry
+val sets : t -> int
+
+val lines : t -> int
+(** Total capacity in lines. *)
+
+val line_of_addr : t -> int -> int
+(** The line (block) number an address falls in. *)
+
+type slot
+(** A handle on a resident line; valid until the next insert/invalidate. *)
+
+val find : t -> int -> slot option
+(** [find t line] probes for [line]; on a hit, promotes it to MRU. *)
+
+val probe : t -> int -> slot option
+(** Like {!find} but without promoting LRU state (for directory snoops). *)
+
+val dirty : t -> slot -> bool
+val set_dirty : t -> slot -> bool -> unit
+val aux : t -> slot -> int
+val set_aux : t -> slot -> int -> unit
+
+type eviction = { victim_line : int; victim_dirty : bool; victim_aux : int }
+
+val insert : t -> ?dirty:bool -> ?aux:int -> int -> eviction option
+(** [insert t line] fills [line] as MRU, evicting the LRU way of its set if
+    the set is full. The line must not already be resident (checked). *)
+
+val invalidate : t -> int -> (bool * int) option
+(** [invalidate t line] removes [line] if resident, returning its final
+    (dirty, aux) state. *)
+
+val resident : t -> int -> bool
+
+val occupancy : t -> int
+(** Number of valid lines (for tests: never exceeds {!lines}). *)
+
+val iter_resident : t -> (int -> dirty:bool -> aux:int -> unit) -> unit
+val clear : t -> unit

@@ -1,0 +1,175 @@
+type item = Packet of Trace.t | Idle of Trace.t
+type source = int -> item
+type flow = { core : int; label : string; source : source }
+
+type result = {
+  core : int;
+  label : string;
+  packets : int;
+  window_cycles : int;
+  throughput_pps : float;
+  counters : Counters.t;
+  l3_refs_per_sec : float;
+  l3_hits_per_sec : float;
+  latency : Ppp_util.Histogram.t;
+}
+
+type core_state = {
+  flow : flow;
+  mutable time : int;
+  mutable trace : Trace.t;
+  mutable is_packet : bool;
+  mutable pos : int;
+  mutable pkt_start : int;
+  mutable packets_done : int;
+  latency : Ppp_util.Histogram.t;
+  (* Window snapshots. *)
+  mutable warm_time : int;
+  mutable warm_packets : int;
+  mutable warm_counters : Counters.t option;
+  mutable end_time : int;
+  mutable end_packets : int;
+  mutable end_counters : Counters.t option;
+}
+
+let fetch st =
+  let item = st.flow.source st.time in
+  let trace, is_packet =
+    match item with Packet t -> (t, true) | Idle t -> (t, false)
+  in
+  if Trace.length trace = 0 then
+    invalid_arg "Engine: source returned an empty trace";
+  st.trace <- trace;
+  st.is_packet <- is_packet;
+  if is_packet then st.pkt_start <- st.time;
+  st.pos <- 0
+
+let run hier ~flows ~warmup_cycles ~measure_cycles =
+  if flows = [] then invalid_arg "Engine.run: no flows";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (f : flow) ->
+      if Hashtbl.mem seen f.core then
+        invalid_arg "Engine.run: two flows on the same core";
+      Hashtbl.add seen f.core ())
+    flows;
+  let costs = Hierarchy.costs hier in
+  let states =
+    List.map
+      (fun (flow : flow) ->
+        let st =
+          {
+            flow;
+            time = 0;
+            trace = Trace.empty;
+            is_packet = false;
+            pos = 0;
+            pkt_start = 0;
+            packets_done = 0;
+            latency = Ppp_util.Histogram.create ();
+            warm_time = 0;
+            warm_packets = 0;
+            warm_counters = None;
+            end_time = 0;
+            end_packets = 0;
+            end_counters = None;
+          }
+        in
+        fetch st;
+        st)
+      flows
+    |> Array.of_list
+  in
+  let n = Array.length states in
+  let window_end = warmup_cycles + measure_cycles in
+  let snapshot st =
+    if st.warm_counters = None && st.time >= warmup_cycles then begin
+      st.warm_time <- st.time;
+      st.warm_packets <- st.packets_done;
+      st.warm_counters <-
+        Some (Counters.copy (Hierarchy.counters hier st.flow.core))
+    end;
+    if st.end_counters = None && st.time >= window_end then begin
+      st.end_time <- st.time;
+      st.end_packets <- st.packets_done;
+      st.end_counters <-
+        Some (Counters.copy (Hierarchy.counters hier st.flow.core))
+    end
+  in
+  let step st =
+    let k = Trace.kind st.trace st.pos in
+    let fn = Trace.fn st.trace st.pos in
+    let payload = Trace.payload st.trace st.pos in
+    (match k with
+    | Trace.Compute ->
+        let ctr = Hierarchy.counters hier st.flow.core in
+        Counters.add_instructions ctr payload;
+        let cycles =
+          max 1 (int_of_float (float_of_int payload *. costs.Costs.compute_cpi))
+        in
+        st.time <- st.time + cycles
+    | Trace.Stall -> st.time <- st.time + payload
+    | Trace.Dma -> Hierarchy.dma_write hier ~addr:payload ~now:st.time
+    | Trace.Read | Trace.Write ->
+        let lat =
+          Hierarchy.access hier ~core:st.flow.core
+            ~write:(k = Trace.Write) ~fn ~addr:payload ~now:st.time
+        in
+        st.time <- st.time + lat);
+    st.pos <- st.pos + 1;
+    if st.pos >= Trace.length st.trace then begin
+      if st.is_packet then begin
+        st.packets_done <- st.packets_done + 1;
+        Counters.add_packet (Hierarchy.counters hier st.flow.core);
+        (* Latency tracked for packets completing inside the window. *)
+        if st.warm_counters <> None && st.end_counters = None then
+          Ppp_util.Histogram.record st.latency (st.time - st.pkt_start)
+      end;
+      snapshot st;
+      fetch st
+    end
+    else snapshot st
+  in
+  (* Advance the globally least-advanced core until every core has crossed
+     the window end. *)
+  let rec loop () =
+    let min_i = ref 0 in
+    for i = 1 to n - 1 do
+      if states.(i).time < states.(!min_i).time then min_i := i
+    done;
+    let st = states.(!min_i) in
+    if st.time < window_end then begin
+      step st;
+      loop ()
+    end
+  in
+  loop ();
+  (* Finalize any snapshot not yet taken (time passed end during final op). *)
+  Array.iter snapshot states;
+  Array.to_list
+    (Array.map
+       (fun st ->
+         let warm =
+           match st.warm_counters with
+           | Some c -> c
+           | None -> assert false
+         in
+         let finish =
+           match st.end_counters with Some c -> c | None -> assert false
+         in
+         let ctr = Counters.diff finish warm in
+         let cycles = max 1 (st.end_time - st.warm_time) in
+         let seconds = Costs.cycles_to_seconds costs cycles in
+         let packets = st.end_packets - st.warm_packets in
+         {
+           core = st.flow.core;
+           label = st.flow.label;
+           packets;
+           window_cycles = cycles;
+           throughput_pps = float_of_int packets /. seconds;
+           counters = ctr;
+           l3_refs_per_sec = float_of_int (Counters.l3_refs ctr) /. seconds;
+           l3_hits_per_sec = float_of_int (Counters.l3_hits ctr) /. seconds;
+           latency = st.latency;
+         })
+       states)

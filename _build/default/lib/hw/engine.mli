@@ -1,0 +1,45 @@
+(** The multicore interleaving engine.
+
+    Each participating core owns a stream of per-packet traces produced by
+    its flow. The engine repeatedly advances the core with the smallest local
+    clock by one operation, so the reference streams of co-running flows
+    interleave in simulated-time order through the shared {!Hierarchy} —
+    faithfully reproducing inter-core cache and memory-controller contention.
+
+    Measurements are taken over a window: every core runs through a warmup
+    period (caches fill, queues reach steady state), then statistics are the
+    counter deltas between the window boundaries. All cores keep executing
+    until the slowest one has crossed the window end, so competition is
+    present throughout every core's measured interval. *)
+
+type item =
+  | Packet of Trace.t  (** work for one packet; completion counts a packet *)
+  | Idle of Trace.t  (** stall/bookkeeping ops that do not complete a packet *)
+
+type source = int -> item
+(** Called with the core's current cycle whenever the core finished its
+    previous item (the cycle argument is how a control element measures its
+    own rate, like reading the TSC). Must not return an empty trace (the
+    engine raises [Invalid_argument] to avoid a live-lock). *)
+
+type flow = { core : int; label : string; source : source }
+
+type result = {
+  core : int;
+  label : string;
+  packets : int;  (** packets completed within the measurement window *)
+  window_cycles : int;
+  throughput_pps : float;  (** packets per simulated second *)
+  counters : Counters.t;  (** counter delta over the window *)
+  l3_refs_per_sec : float;
+  l3_hits_per_sec : float;
+  latency : Ppp_util.Histogram.t;
+      (** per-packet processing latency (cycles), packets completed within
+          the window *)
+}
+
+val run :
+  Hierarchy.t -> flows:flow list -> warmup_cycles:int -> measure_cycles:int ->
+  result list
+(** Runs the given flows (each on a distinct core; checked) and returns one
+    result per flow, in input order. *)

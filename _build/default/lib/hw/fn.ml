@@ -1,0 +1,21 @@
+type t = int
+
+let max_tags = 64
+let names = Array.make max_tags "?"
+let next = ref 0
+let by_name : (string, int) Hashtbl.t = Hashtbl.create 32
+
+let register name =
+  match Hashtbl.find_opt by_name name with
+  | Some tag -> tag
+  | None ->
+      if !next >= max_tags then failwith "Fn.register: tag registry full";
+      let tag = !next in
+      incr next;
+      names.(tag) <- name;
+      Hashtbl.add by_name name tag;
+      tag
+
+let name tag = if tag >= 0 && tag < !next then names.(tag) else "?"
+let count () = !next
+let none = register "-"

@@ -1,0 +1,25 @@
+(** Function tags for per-function performance attribution.
+
+    Every traced operation carries a small integer tag identifying the
+    packet-processing function that issued it (e.g. [radix_ip_lookup],
+    [flow_statistics]); the counters aggregate L3 behaviour per tag, which is
+    what Figure 7 of the paper breaks down. *)
+
+type t = int
+(** A registered tag, in [0, max_tags). *)
+
+val max_tags : int
+(** Upper bound on distinct tags (64). *)
+
+val register : string -> t
+(** [register name] returns the tag for [name], allocating one on first use.
+    Idempotent. Raises [Failure] if the registry is full. *)
+
+val name : t -> string
+(** Name of a registered tag; ["?"] for unregistered values. *)
+
+val count : unit -> int
+(** Number of registered tags so far. *)
+
+val none : t
+(** The pre-registered catch-all tag (named ["-"], value 0). *)

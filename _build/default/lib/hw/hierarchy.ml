@@ -1,0 +1,286 @@
+type geometry = { l1 : Cache.geometry; l2 : Cache.geometry; l3 : Cache.geometry }
+
+type t = {
+  topo : Topology.t;
+  costs : Costs.t;
+  l1s : Cache.t array; (* per core *)
+  l2s : Cache.t array; (* per core *)
+  l3s : Cache.t array; (* per socket; aux = directory presence bits *)
+  memctrls : Memctrl.t array; (* per node *)
+  counters : Counters.t array; (* per core *)
+  miss_streak : bool array; (* per core: previous access was a DRAM miss *)
+}
+
+(* Private-cache aux: bit 0 set when the core holds the line exclusively
+   (no other private cache on the socket may hold it). *)
+let excl = 1
+
+let create topo costs geo =
+  if geo.l1.line_bytes <> geo.l2.line_bytes || geo.l2.line_bytes <> geo.l3.line_bytes
+  then invalid_arg "Hierarchy.create: all levels must share a line size";
+  let cores = Topology.cores topo in
+  {
+    topo;
+    costs;
+    l1s = Array.init cores (fun _ -> Cache.create geo.l1);
+    l2s = Array.init cores (fun _ -> Cache.create geo.l2);
+    l3s = Array.init topo.Topology.sockets (fun _ -> Cache.create geo.l3);
+    memctrls =
+      Array.init topo.Topology.sockets (fun _ ->
+          Memctrl.create ~service_cycles:costs.Costs.mc_service);
+    counters = Array.init cores (fun _ -> Counters.create ());
+    miss_streak = Array.make cores false;
+  }
+
+let topology t = t.topo
+let costs t = t.costs
+let counters t core = t.counters.(core)
+
+(* Write a dirty private victim down into L3 (inclusion guarantees presence;
+   if violated, fall back to a posted memory write-back). *)
+let writeback_to_l3 t ~socket ~line ~now =
+  let l3 = t.l3s.(socket) in
+  match Cache.probe l3 line with
+  | Some slot -> Cache.set_dirty l3 slot true
+  | None ->
+      (* Inclusion should make this unreachable; keep the model safe anyway. *)
+      let node = Topology.node_of_addr (line * (Cache.geometry l3).Cache.line_bytes) in
+      Memctrl.writeback t.memctrls.(min node (Array.length t.memctrls - 1)) ~now
+
+(* Insert [line] into a private cache, cascading dirty victims downwards. *)
+let fill_private t ~core ~socket ~line ~exclusive ~dirty ~now =
+  let aux = if exclusive then excl else 0 in
+  let l2 = t.l2s.(core) in
+  (match Cache.insert l2 ~dirty:false ~aux line with
+  | Some { Cache.victim_line; victim_dirty; _ } when victim_dirty ->
+      writeback_to_l3 t ~socket ~line:victim_line ~now
+  | Some _ | None -> ());
+  let l1 = t.l1s.(core) in
+  match Cache.insert l1 ~dirty ~aux line with
+  | Some { Cache.victim_line; victim_dirty; _ } when victim_dirty -> (
+      (* L1 victim descends into L2 (non-inclusive L2, as on Westmere). *)
+      match Cache.find l2 victim_line with
+      | Some slot -> Cache.set_dirty l2 slot true
+      | None -> (
+          match Cache.insert l2 ~dirty:true ~aux:0 victim_line with
+          | Some { Cache.victim_line = v2; victim_dirty = d2; _ } when d2 ->
+              writeback_to_l3 t ~socket ~line:v2 ~now
+          | Some _ | None -> ()))
+  | Some _ | None -> ()
+
+(* Remove a line from a core's private caches; true if a dirty copy existed. *)
+let invalidate_private t ~core ~line =
+  let d1 = match Cache.invalidate t.l1s.(core) line with
+    | Some (dirty, _) -> dirty
+    | None -> false
+  in
+  let d2 = match Cache.invalidate t.l2s.(core) line with
+    | Some (dirty, _) -> dirty
+    | None -> false
+  in
+  d1 || d2
+
+let iter_holders t ~socket ~bits ~excluding f =
+  let base_core = socket * t.topo.Topology.cores_per_socket in
+  for li = 0 to t.topo.Topology.cores_per_socket - 1 do
+    if li <> excluding && bits land (1 lsl li) <> 0 then f (base_core + li)
+  done
+
+(* Invalidate every other holder of [line] per directory [bits]; returns true
+   if any dirty copy was found (its data is merged into the L3). *)
+let invalidate_other_holders t ~socket ~bits ~self_li ~line =
+  let found_dirty = ref false in
+  iter_holders t ~socket ~bits ~excluding:self_li (fun core ->
+      if invalidate_private t ~core ~line then found_dirty := true);
+  !found_dirty
+
+(* Downgrade other holders for a read: dirty copies are flushed to L3 and
+   lose exclusivity, but stay resident. *)
+let downgrade_other_holders t ~socket ~bits ~self_li ~line =
+  let found_dirty = ref false in
+  iter_holders t ~socket ~bits ~excluding:self_li (fun core ->
+      let demote cache =
+        match Cache.probe cache line with
+        | Some slot ->
+            if Cache.dirty cache slot then found_dirty := true;
+            Cache.set_dirty cache slot false;
+            Cache.set_aux cache slot 0
+        | None -> ()
+      in
+      demote t.l1s.(core);
+      demote t.l2s.(core));
+  !found_dirty
+
+(* Ensure exclusivity before a write that hit a non-exclusive private line:
+   one round trip to the directory, invalidating peer copies. *)
+let upgrade t ~socket ~self_li ~line =
+  let l3 = t.l3s.(socket) in
+  (match Cache.probe l3 line with
+  | Some slot ->
+      let bits = Cache.aux l3 slot in
+      let self = 1 lsl self_li in
+      if invalidate_other_holders t ~socket ~bits ~self_li ~line then
+        Cache.set_dirty l3 slot true;
+      Cache.set_aux l3 slot self
+  | None -> ());
+  t.costs.Costs.upgrade_lat
+
+let mark_exclusive cache line =
+  match Cache.probe cache line with
+  | Some slot -> Cache.set_aux cache slot excl
+  | None -> ()
+
+let access t ~core ~write ~fn ~addr ~now =
+  let costs = t.costs in
+  let socket = Topology.socket_of_core t.topo core in
+  let self_li = Topology.local_index t.topo core in
+  let self = 1 lsl self_li in
+  let ctr = t.counters.(core) in
+  if write then Counters.add_write ctr else Counters.add_read ctr;
+  Counters.add_instructions ctr 1;
+  let l1 = t.l1s.(core) in
+  let line = Cache.line_of_addr l1 addr in
+  match Cache.find l1 line with
+  | Some slot ->
+      (* L1 hit. *)
+      t.miss_streak.(core) <- false;
+      Counters.add_l1_hit ctr fn;
+      let extra =
+        if write && Cache.aux l1 slot land excl = 0 then begin
+          let lat = upgrade t ~socket ~self_li ~line in
+          Cache.set_aux l1 slot excl;
+          mark_exclusive t.l2s.(core) line;
+          lat
+        end
+        else 0
+      in
+      if write then Cache.set_dirty l1 slot true;
+      costs.Costs.l1_lat + extra
+  | None -> (
+      let l2 = t.l2s.(core) in
+      match Cache.find l2 line with
+      | Some slot ->
+          (* L2 hit: refill L1. *)
+          t.miss_streak.(core) <- false;
+          Counters.add_l2_hit ctr fn;
+          let exclusive = Cache.aux l2 slot land excl <> 0 in
+          let extra =
+            if write && not exclusive then upgrade t ~socket ~self_li ~line
+            else 0
+          in
+          let exclusive = exclusive || write in
+          let dirty_in_l2 = Cache.dirty l2 slot in
+          ignore
+            (Cache.invalidate l2 line : (bool * int) option);
+          (* Move up to L1 (keeping dirtiness); L2 copy dropped to avoid
+             double-tracking dirtiness across the two private levels. *)
+          fill_private t ~core ~socket ~line ~exclusive
+            ~dirty:(dirty_in_l2 || write) ~now;
+          costs.Costs.l2_lat + extra
+      | None -> (
+          let l3 = t.l3s.(socket) in
+          match Cache.find l3 line with
+          | Some slot ->
+              (* L3 hit. *)
+              t.miss_streak.(core) <- false;
+              Counters.add_l3_hit ctr fn;
+              let bits = Cache.aux l3 slot in
+              let others = bits land lnot self in
+              let snoop_cost = ref 0 in
+              if others <> 0 then
+                if write then begin
+                  if invalidate_other_holders t ~socket ~bits ~self_li ~line
+                  then Cache.set_dirty l3 slot true;
+                  Cache.set_aux l3 slot self;
+                  snoop_cost := costs.Costs.upgrade_lat
+                end
+                else begin
+                  if downgrade_other_holders t ~socket ~bits ~self_li ~line
+                  then begin
+                    Cache.set_dirty l3 slot true;
+                    snoop_cost := costs.Costs.c2c_lat
+                  end;
+                  Cache.set_aux l3 slot (bits lor self)
+                end
+              else Cache.set_aux l3 slot (bits lor self);
+              let exclusive = Cache.aux l3 slot = self in
+              fill_private t ~core ~socket ~line ~exclusive ~dirty:write ~now;
+              costs.Costs.l3_lat + !snoop_cost
+          | None ->
+              (* L3 miss: go to the home node's memory controller. *)
+              Counters.add_l3_miss ctr fn;
+              let node = Topology.node_of_addr addr in
+              let remote = node <> socket && node < Array.length t.memctrls in
+              let mc =
+                if node < Array.length t.memctrls then t.memctrls.(node)
+                else t.memctrls.(socket)
+              in
+              let queue_wait = Memctrl.demand_access mc ~now in
+              (* Back-to-back misses overlap on an out-of-order core: only
+                 1/mlp of the DRAM latency is exposed past the first. *)
+              let dram_exposed =
+                if t.miss_streak.(core) && costs.Costs.mlp > 1 then
+                  costs.Costs.dram_lat / costs.Costs.mlp
+                else costs.Costs.dram_lat
+              in
+              t.miss_streak.(core) <- true;
+              (* Fill L3; inclusion: back-invalidate private copies of the
+                 victim across the socket. *)
+              (match Cache.insert l3 ~dirty:write ~aux:self line with
+              | Some { Cache.victim_line; victim_dirty; victim_aux } ->
+                  let priv_dirty = ref false in
+                  iter_holders t ~socket ~bits:victim_aux ~excluding:(-1)
+                    (fun c ->
+                      if invalidate_private t ~core:c ~line:victim_line then
+                        priv_dirty := true);
+                  if victim_dirty || !priv_dirty then begin
+                    let vnode =
+                      let vaddr = victim_line * Cache.(geometry l3).line_bytes in
+                      Topology.node_of_addr vaddr
+                    in
+                    let vmc =
+                      if vnode < Array.length t.memctrls then
+                        t.memctrls.(vnode)
+                      else mc
+                    in
+                    Memctrl.writeback vmc ~now
+                  end
+              | None -> ());
+              fill_private t ~core ~socket ~line ~exclusive:true ~dirty:write
+                ~now;
+              costs.Costs.l3_lat + dram_exposed + queue_wait
+              + (if remote then costs.Costs.qpi_lat else 0)))
+
+let dma_write t ~addr ~now =
+  let line = Cache.line_of_addr t.l1s.(0) addr in
+  Array.iteri
+    (fun socket l3 ->
+      match Cache.invalidate l3 line with
+      | Some (_, bits) ->
+          iter_holders t ~socket ~bits ~excluding:(-1) (fun core ->
+              ignore (invalidate_private t ~core ~line : bool))
+      | None ->
+          (* Directory is conservative; sweep private caches anyway. *)
+          let base = socket * t.topo.Topology.cores_per_socket in
+          for li = 0 to t.topo.Topology.cores_per_socket - 1 do
+            ignore (invalidate_private t ~core:(base + li) ~line : bool)
+          done)
+    t.l3s;
+  let node = Topology.node_of_addr addr in
+  let mc =
+    if node < Array.length t.memctrls then t.memctrls.(node) else t.memctrls.(0)
+  in
+  Memctrl.writeback mc ~now
+
+let l3_occupancy t ~socket = Cache.occupancy t.l3s.(socket)
+
+let l3_resident t ~socket ~addr =
+  let l3 = t.l3s.(socket) in
+  Cache.resident l3 (Cache.line_of_addr l3 addr)
+
+let private_resident t ~core ~addr =
+  let l1 = t.l1s.(core) in
+  let line = Cache.line_of_addr l1 addr in
+  Cache.resident l1 line || Cache.resident t.l2s.(core) line
+
+let memctrl_transactions t ~node = Memctrl.transactions t.memctrls.(node)

@@ -1,0 +1,49 @@
+type config = {
+  name : string;
+  topology : Topology.t;
+  costs : Costs.t;
+  geometry : Hierarchy.geometry;
+  scale : int;
+}
+
+let geo ~l1 ~l2 ~l3 ~l3_ways =
+  {
+    Hierarchy.l1 = { Cache.size_bytes = l1; ways = 4; line_bytes = 64 };
+    l2 = { Cache.size_bytes = l2; ways = 8; line_bytes = 64 };
+    l3 = { Cache.size_bytes = l3; ways = l3_ways; line_bytes = 64 };
+  }
+
+let westmere =
+  {
+    name = "westmere";
+    topology = Topology.create ~sockets:2 ~cores_per_socket:6;
+    costs = Costs.default;
+    geometry = geo ~l1:(32 * 1024) ~l2:(256 * 1024) ~l3:(12 * 1024 * 1024) ~l3_ways:12;
+    scale = 1;
+  }
+
+let scaled =
+  {
+    name = "scaled";
+    topology = Topology.create ~sockets:2 ~cores_per_socket:6;
+    costs = Costs.default;
+    geometry = geo ~l1:(4 * 1024) ~l2:(32 * 1024) ~l3:(1536 * 1024) ~l3_ways:12;
+    scale = 8;
+  }
+
+let tiny =
+  {
+    name = "tiny";
+    topology = Topology.create ~sockets:2 ~cores_per_socket:2;
+    costs = Costs.default;
+    geometry = geo ~l1:1024 ~l2:4096 ~l3:(64 * 1024) ~l3_ways:8;
+    scale = 128;
+  }
+
+let all = [ westmere; scaled; tiny ]
+let by_name n = List.find_opt (fun c -> c.name = n) all
+let names = List.map (fun c -> c.name) all
+let build c = Hierarchy.create c.topology c.costs c.geometry
+let l3_bytes c = c.geometry.Hierarchy.l3.Cache.size_bytes
+let line_bytes c = c.geometry.Hierarchy.l3.Cache.line_bytes
+let cores_per_socket c = c.topology.Topology.cores_per_socket

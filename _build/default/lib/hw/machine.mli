@@ -1,0 +1,30 @@
+(** Named machine configurations and construction.
+
+    [westmere] mirrors the paper's dual-socket X5660 platform. [scaled] is a
+    uniformly scaled-down version (cache sizes / working sets divided by the
+    same factor) used by default so experiments run in seconds while
+    preserving the footprint-to-cache ratios that the contention phenomena
+    depend on. [tiny] is for unit tests. *)
+
+type config = {
+  name : string;
+  topology : Topology.t;
+  costs : Costs.t;
+  geometry : Hierarchy.geometry;
+  scale : int;
+      (** working-set divisor applications should apply (1 for westmere) *)
+}
+
+val westmere : config
+val scaled : config
+val tiny : config
+
+val by_name : string -> config option
+(** Looks up "westmere" | "scaled" | "tiny". *)
+
+val names : string list
+val build : config -> Hierarchy.t
+
+val l3_bytes : config -> int
+val line_bytes : config -> int
+val cores_per_socket : config -> int

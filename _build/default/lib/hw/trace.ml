@@ -1,0 +1,81 @@
+type op_kind = Compute | Read | Write | Stall | Dma
+
+type t = { ops : int array; len : int }
+
+let make_trace ops len = { ops; len }
+
+let kind_bits = 3
+let fn_bits = 6
+let payload_shift = kind_bits + fn_bits
+let kind_mask = (1 lsl kind_bits) - 1
+let fn_mask = (1 lsl fn_bits) - 1
+let max_payload = (1 lsl (62 - payload_shift)) - 1
+
+let encode k fn payload =
+  if payload < 0 || payload > max_payload then
+    invalid_arg "Trace: payload out of range";
+  (payload lsl payload_shift) lor ((fn land fn_mask) lsl kind_bits) lor k
+
+let kind_of_int = function
+  | 0 -> Compute
+  | 1 -> Read
+  | 2 -> Write
+  | 3 -> Stall
+  | _ -> Dma
+
+let length t = t.len
+let kind t i = kind_of_int (t.ops.(i) land kind_mask)
+let fn t i = (t.ops.(i) lsr kind_bits) land fn_mask
+let payload t i = t.ops.(i) lsr payload_shift
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f (kind t i) (fn t i) (payload t i)
+  done
+
+let empty = { ops = [||]; len = 0 }
+
+let mem_refs t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    let k = t.ops.(i) land kind_mask in
+    if k = 1 || k = 2 then incr n
+  done;
+  !n
+
+let instructions t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    match t.ops.(i) land kind_mask with
+    | 0 -> n := !n + (t.ops.(i) lsr payload_shift)
+    | 1 | 2 -> incr n
+    | _ -> ()
+  done;
+  !n
+
+module Builder = struct
+  type trace = t
+  type t = { mutable ops : int array; mutable len : int }
+
+  let create ?(initial_capacity = 256) () =
+    { ops = Array.make (max 16 initial_capacity) 0; len = 0 }
+
+  let clear b = b.len <- 0
+
+  let push b v =
+    if b.len = Array.length b.ops then begin
+      let bigger = Array.make (2 * Array.length b.ops) 0 in
+      Array.blit b.ops 0 bigger 0 b.len;
+      b.ops <- bigger
+    end;
+    b.ops.(b.len) <- v;
+    b.len <- b.len + 1
+
+  let compute b ~fn n = if n > 0 then push b (encode 0 fn n)
+  let read b ~fn addr = push b (encode 1 fn addr)
+  let write b ~fn addr = push b (encode 2 fn addr)
+  let stall b n = if n > 0 then push b (encode 3 Fn.none n)
+  let dma b addr = push b (encode 4 Fn.none addr)
+  let length b = b.len
+  let finish b = make_trace (Array.sub b.ops 0 b.len) b.len
+end

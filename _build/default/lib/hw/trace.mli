@@ -1,0 +1,59 @@
+(** Packed per-packet operation traces.
+
+    An application processes a packet by doing real work over instrumented
+    data structures; the side product is a trace: the exact sequence of
+    compute bursts and memory references the packet incurred. The engine
+    replays traces from co-scheduled cores interleaved in simulated time,
+    which is what creates cache and memory-controller contention.
+
+    Each op packs into one int: 2 bits of kind, 6 bits of function tag, and
+    55 bits of payload (an address for memory ops, an instruction count for
+    compute, cycles for stalls). *)
+
+type op_kind = Compute | Read | Write | Stall | Dma
+
+type t
+(** An immutable finished trace. *)
+
+val length : t -> int
+val kind : t -> int -> op_kind
+val fn : t -> int -> Fn.t
+val payload : t -> int -> int
+
+val iter : t -> (op_kind -> Fn.t -> int -> unit) -> unit
+val empty : t
+
+val mem_refs : t -> int
+(** Number of Read/Write ops. *)
+
+val instructions : t -> int
+(** Total instruction count: compute payloads plus one per memory op. *)
+
+(** Mutable builder reused across packets to avoid allocation churn. *)
+module Builder : sig
+  type trace = t
+  type t
+
+  val create : ?initial_capacity:int -> unit -> t
+  val clear : t -> unit
+  val compute : t -> fn:Fn.t -> int -> unit
+  (** [compute b ~fn n] records [n] instructions of pure compute. [n <= 0] is
+      ignored. *)
+
+  val read : t -> fn:Fn.t -> int -> unit
+  (** [read b ~fn addr] records a load from [addr]. *)
+
+  val write : t -> fn:Fn.t -> int -> unit
+  val stall : t -> int -> unit
+  (** Idle cycles (e.g. an empty handoff queue); not counted as work. *)
+
+  val dma : t -> int -> unit
+  (** A NIC DMA write to the line holding [addr]: executed by the engine as
+      a cache invalidation plus a memory-controller transaction, with no
+      latency charged to the core. Models RX on a pre-DDIO platform, where
+      the first core read of freshly received data is a compulsory miss. *)
+
+  val length : t -> int
+  val finish : t -> trace
+  (** Snapshot the builder contents as an immutable trace (copies). *)
+end

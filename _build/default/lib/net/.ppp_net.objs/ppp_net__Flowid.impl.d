@@ -1,0 +1,1 @@
+lib/net/flowid.ml: Format Hashes Ipv4 Ppp_util Stdlib Transport

@@ -1,0 +1,1 @@
+lib/net/flowid.mli: Format Packet

@@ -1,0 +1,1 @@
+lib/net/transport.ml: Ipv4 Packet

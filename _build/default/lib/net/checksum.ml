@@ -1,0 +1,28 @@
+let ones_sum b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Checksum.ones_sum: slice out of bounds";
+  let sum = ref 0 in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i + 1 < stop do
+    sum := !sum + ((Char.code (Bytes.get b !i) lsl 8) lor Char.code (Bytes.get b (!i + 1)));
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get b !i) lsl 8);
+  (* Fold carries. *)
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  !sum
+
+let checksum b ~pos ~len = lnot (ones_sum b ~pos ~len) land 0xFFFF
+let is_valid b ~pos ~len = ones_sum b ~pos ~len = 0xFFFF
+
+let incremental_update ~old_checksum ~old16 ~new16 =
+  (* RFC 1624: HC' = ~(~HC + ~m + m') *)
+  let sum = (lnot old_checksum land 0xFFFF) + (lnot old16 land 0xFFFF) + new16 in
+  let sum = ref sum in
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF

@@ -1,0 +1,19 @@
+(** RFC 1071 Internet checksum, with RFC 1624 incremental update.
+
+    IP forwarding (Section 2.1) recomputes / incrementally updates the header
+    checksum after the TTL decrement; both paths are provided and tested
+    against each other. *)
+
+val ones_sum : Bytes.t -> pos:int -> len:int -> int
+(** Raw 16-bit one's-complement sum of a byte range (odd lengths padded). *)
+
+val checksum : Bytes.t -> pos:int -> len:int -> int
+(** The Internet checksum of a byte range (the complement of the sum). *)
+
+val is_valid : Bytes.t -> pos:int -> len:int -> bool
+(** True when the range (including its embedded checksum field) sums to
+    0xFFFF. *)
+
+val incremental_update : old_checksum:int -> old16:int -> new16:int -> int
+(** [incremental_update ~old_checksum ~old16 ~new16] is the checksum after a
+    16-bit word changed from [old16] to [new16] (RFC 1624 eqn. 3). *)

@@ -1,0 +1,34 @@
+let header_bytes = 14
+let ethertype_ipv4 = 0x0800
+
+let check_mac m =
+  if String.length m <> 6 then invalid_arg "Ethernet: MAC must be 6 bytes"
+
+let set_header p ~src ~dst ~ethertype =
+  check_mac src;
+  check_mac dst;
+  Packet.blit_string dst p 0;
+  Packet.blit_string src p 6;
+  Packet.set16 p 12 ethertype
+
+let ethertype p = Packet.get16 p 12
+let src p = Packet.sub_string p ~pos:6 ~len:6
+let dst p = Packet.sub_string p ~pos:0 ~len:6
+
+let set_dst p mac =
+  check_mac mac;
+  Packet.blit_string mac p 0
+
+let mac_of_string s =
+  match String.split_on_char ':' s with
+  | [ a; b; c; d; e; f ] ->
+      let byte x = Char.chr (int_of_string ("0x" ^ x)) in
+      let buf = Bytes.create 6 in
+      List.iteri (fun i x -> Bytes.set buf i (byte x)) [ a; b; c; d; e; f ];
+      Bytes.to_string buf
+  | _ -> invalid_arg "Ethernet.mac_of_string"
+
+let mac_to_string m =
+  check_mac m;
+  String.concat ":"
+    (List.init 6 (fun i -> Printf.sprintf "%02x" (Char.code m.[i])))

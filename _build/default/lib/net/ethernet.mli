@@ -1,0 +1,16 @@
+(** Ethernet II framing (14-byte header at offset 0). *)
+
+val header_bytes : int
+
+val set_header : Packet.t -> src:string -> dst:string -> ethertype:int -> unit
+(** [src]/[dst] are 6-byte MAC strings. *)
+
+val ethertype : Packet.t -> int
+val ethertype_ipv4 : int
+val src : Packet.t -> string
+val dst : Packet.t -> string
+val set_dst : Packet.t -> string -> unit
+val mac_of_string : string -> string
+(** Parses "aa:bb:cc:dd:ee:ff" into a 6-byte MAC. *)
+
+val mac_to_string : string -> string

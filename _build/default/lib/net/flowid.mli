@@ -1,0 +1,11 @@
+(** Transport 5-tuples, used as NetFlow keys. *)
+
+type t = { src : int; dst : int; sport : int; dport : int; proto : int }
+
+val of_packet : Packet.t -> t
+val hash : t -> int
+(** FNV-based stable hash (what the NetFlow element indexes its table by). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+let header_offset = Ethernet.header_bytes
+let header_bytes = 20
+let proto_udp = 17
+let proto_tcp = 6
+
+let addr_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+      let part x =
+        match int_of_string_opt x with
+        | Some v when v >= 0 && v <= 255 -> v
+        | _ -> invalid_arg "Ipv4.addr_of_string: bad octet"
+      in
+      (part a lsl 24) lor (part b lsl 16) lor (part c lsl 8) lor part d
+  | _ -> invalid_arg "Ipv4.addr_of_string: expected a.b.c.d"
+
+let addr_to_string a =
+  Printf.sprintf "%d.%d.%d.%d" ((a lsr 24) land 0xFF) ((a lsr 16) land 0xFF)
+    ((a lsr 8) land 0xFF) (a land 0xFF)
+
+let o = header_offset
+
+let recompute_checksum p =
+  Packet.set16 p (o + 10) 0;
+  let c = Checksum.checksum p.Packet.data ~pos:o ~len:header_bytes in
+  Packet.set16 p (o + 10) c
+
+let set_header p ~src ~dst ~proto ~ttl ~payload_len =
+  Packet.set8 p o 0x45;
+  Packet.set8 p (o + 1) 0;
+  Packet.set16 p (o + 2) (header_bytes + payload_len);
+  Packet.set16 p (o + 4) 0;
+  (* identification *)
+  Packet.set16 p (o + 6) 0x4000;
+  (* don't fragment *)
+  Packet.set8 p (o + 8) ttl;
+  Packet.set8 p (o + 9) proto;
+  Packet.set32 p (o + 12) src;
+  Packet.set32 p (o + 16) dst;
+  recompute_checksum p
+
+let src p = Packet.get32 p (o + 12)
+let dst p = Packet.get32 p (o + 16)
+let ttl p = Packet.get8 p (o + 8)
+let proto p = Packet.get8 p (o + 9)
+let total_length p = Packet.get16 p (o + 2)
+let header_checksum p = Packet.get16 p (o + 10)
+let checksum_ok p = Checksum.is_valid p.Packet.data ~pos:o ~len:header_bytes
+
+let valid p =
+  Packet.get8 p o = 0x45
+  && p.Packet.len >= o + header_bytes
+  && total_length p = p.Packet.len - o
+  && ttl p > 0 && checksum_ok p
+
+let decrement_ttl p =
+  let old16 = Packet.get16 p (o + 8) in
+  let t = ttl p in
+  if t = 0 then invalid_arg "Ipv4.decrement_ttl: TTL already zero";
+  Packet.set8 p (o + 8) (t - 1);
+  let new16 = Packet.get16 p (o + 8) in
+  let c =
+    Checksum.incremental_update ~old_checksum:(header_checksum p) ~old16 ~new16
+  in
+  Packet.set16 p (o + 10) c
+
+let set_dst p dst =
+  let fix i new16 =
+    let old16 = Packet.get16 p i in
+    if old16 <> new16 then begin
+      let c =
+        Checksum.incremental_update ~old_checksum:(header_checksum p) ~old16
+          ~new16
+      in
+      Packet.set16 p i new16;
+      Packet.set16 p (o + 10) c
+    end
+  in
+  fix (o + 16) (dst lsr 16);
+  fix (o + 18) (dst land 0xFFFF)

@@ -1,0 +1,18 @@
+let header_offset = Ipv4.header_offset + Ipv4.header_bytes
+let o = header_offset
+let src_port p = Packet.get16 p o
+let dst_port p = Packet.get16 p (o + 2)
+
+let set_ports p ~src ~dst =
+  Packet.set16 p o src;
+  Packet.set16 p (o + 2) dst
+
+let udp_header_bytes = 8
+
+let set_udp_header p ~src ~dst ~payload_len =
+  set_ports p ~src ~dst;
+  Packet.set16 p (o + 4) (udp_header_bytes + payload_len);
+  Packet.set16 p (o + 6) 0
+
+let payload_offset p =
+  if Ipv4.proto p = Ipv4.proto_tcp then o + 20 else o + udp_header_bytes

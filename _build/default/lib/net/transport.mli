@@ -1,0 +1,14 @@
+(** Minimal UDP/TCP header access (ports only — what NetFlow and the firewall
+    classify on), located right after the IPv4 header. *)
+
+val header_offset : int
+val src_port : Packet.t -> int
+val dst_port : Packet.t -> int
+val set_ports : Packet.t -> src:int -> dst:int -> unit
+
+val udp_header_bytes : int
+val set_udp_header : Packet.t -> src:int -> dst:int -> payload_len:int -> unit
+(** Writes a UDP header (ports, length, zero checksum). *)
+
+val payload_offset : Packet.t -> int
+(** First byte after the transport header (UDP assumed; TCP uses 20 bytes). *)

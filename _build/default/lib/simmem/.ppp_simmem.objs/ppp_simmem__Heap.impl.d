@@ -1,0 +1,1 @@
+lib/simmem/heap.ml: Ppp_hw

@@ -1,0 +1,1 @@
+lib/simmem/iarray.ml: Array Heap Ppp_hw

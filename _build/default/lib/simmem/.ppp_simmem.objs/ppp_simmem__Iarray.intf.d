@@ -1,0 +1,1 @@
+lib/simmem/iarray.mli: Heap Ppp_hw

@@ -1,0 +1,1 @@
+lib/simmem/ibuf.ml: Bytes Heap Ppp_hw

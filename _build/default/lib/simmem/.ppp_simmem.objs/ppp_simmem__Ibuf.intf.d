@@ -1,0 +1,1 @@
+lib/simmem/ibuf.mli: Bytes Heap Ppp_hw

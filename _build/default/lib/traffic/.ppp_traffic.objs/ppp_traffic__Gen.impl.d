@@ -1,0 +1,1 @@
+lib/traffic/gen.ml: Ethernet Ipv4 Packet Ppp_net Ppp_util Transport

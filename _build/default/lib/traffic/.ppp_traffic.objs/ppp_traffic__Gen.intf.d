@@ -1,0 +1,1 @@
+lib/traffic/gen.mli: Ppp_net Ppp_util

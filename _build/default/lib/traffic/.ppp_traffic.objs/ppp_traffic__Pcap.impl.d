@@ -1,0 +1,1 @@
+lib/traffic/pcap.ml: Array Bytes Char List Ppp_net

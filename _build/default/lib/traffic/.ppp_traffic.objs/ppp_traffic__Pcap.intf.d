@@ -1,0 +1,1 @@
+lib/traffic/pcap.mli: Bytes Ppp_net

@@ -1,0 +1,24 @@
+let min_wire_len = 60
+
+let fill_ipv4_udp pkt ~src ~dst ~sport ~dport ~wire_len =
+  if wire_len < min_wire_len then invalid_arg "Gen.fill_ipv4_udp: too short";
+  let open Ppp_net in
+  Packet.resize pkt wire_len;
+  Ethernet.set_header pkt ~src:"\x02\x00\x00\x00\x00\x01"
+    ~dst:"\x02\x00\x00\x00\x00\x02" ~ethertype:Ethernet.ethertype_ipv4;
+  let ip_payload = wire_len - Ipv4.header_offset - Ipv4.header_bytes in
+  Ipv4.set_header pkt ~src ~dst ~proto:Ipv4.proto_udp ~ttl:64
+    ~payload_len:ip_payload;
+  Transport.set_udp_header pkt ~src:sport ~dst:dport
+    ~payload_len:(ip_payload - Transport.udp_header_bytes)
+
+let random_payload rng pkt ~pos ~len =
+  for i = pos to pos + len - 1 do
+    Ppp_net.Packet.set8 pkt i (Ppp_util.Rng.byte rng)
+  done
+
+let seeded_payload ~seed pkt ~pos ~len =
+  let rng = Ppp_util.Rng.create ~seed in
+  for i = pos to pos + len - 1 do
+    Ppp_net.Packet.set8 pkt i (Ppp_util.Rng.byte rng)
+  done

@@ -1,0 +1,116 @@
+type record = { ts_usec : int; pkt : Ppp_net.Packet.t }
+type t = { mutable recs : record list (* reversed *); mutable count : int }
+
+let magic = 0xA1B2C3D4
+let linktype_ethernet = 1
+let snaplen = 65535
+
+let create () = { recs = []; count = 0 }
+
+let append t ?ts_usec pkt =
+  let ts =
+    match ts_usec with
+    | Some ts -> ts
+    | None -> ( match t.recs with [] -> 0 | r :: _ -> r.ts_usec + 1)
+  in
+  t.recs <- { ts_usec = ts; pkt = Ppp_net.Packet.copy pkt } :: t.recs;
+  t.count <- t.count + 1
+
+let records t = List.rev t.recs
+let length t = t.count
+
+let le32 b pos v =
+  for i = 0 to 3 do
+    Bytes.set b (pos + i) (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let rd32 b pos =
+  let byte i = Char.code (Bytes.get b (pos + i)) in
+  byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24)
+
+let le16 b pos v =
+  Bytes.set b pos (Char.chr (v land 0xFF));
+  Bytes.set b (pos + 1) (Char.chr ((v lsr 8) land 0xFF))
+
+let rd16 b pos =
+  Char.code (Bytes.get b pos) lor (Char.code (Bytes.get b (pos + 1)) lsl 8)
+
+let to_bytes t =
+  let recs = records t in
+  let body = List.fold_left (fun acc r -> acc + 16 + r.pkt.Ppp_net.Packet.len) 0 recs in
+  let out = Bytes.make (24 + body) '\000' in
+  le32 out 0 magic;
+  le16 out 4 2;
+  le16 out 6 4;
+  (* thiszone, sigfigs already 0 *)
+  le32 out 16 snaplen;
+  le32 out 20 linktype_ethernet;
+  let pos = ref 24 in
+  List.iter
+    (fun r ->
+      let len = r.pkt.Ppp_net.Packet.len in
+      le32 out !pos (r.ts_usec / 1_000_000);
+      le32 out (!pos + 4) (r.ts_usec mod 1_000_000);
+      le32 out (!pos + 8) len;
+      le32 out (!pos + 12) len;
+      Bytes.blit r.pkt.Ppp_net.Packet.data 0 out (!pos + 16) len;
+      pos := !pos + 16 + len)
+    recs;
+  out
+
+let of_bytes b =
+  if Bytes.length b < 24 then Error "pcap: truncated global header"
+  else if rd32 b 0 <> magic then
+    Error "pcap: bad magic (only little-endian v2.4 supported)"
+  else if rd16 b 4 <> 2 || rd16 b 6 <> 4 then Error "pcap: unsupported version"
+  else if rd32 b 20 <> linktype_ethernet then
+    Error "pcap: unsupported link type (expected Ethernet)"
+  else begin
+    let t = create () in
+    let pos = ref 24 in
+    let err = ref None in
+    while !err = None && !pos < Bytes.length b do
+      if !pos + 16 > Bytes.length b then err := Some "pcap: truncated record header"
+      else begin
+        let sec = rd32 b !pos and usec = rd32 b (!pos + 4) in
+        let incl = rd32 b (!pos + 8) in
+        if !pos + 16 + incl > Bytes.length b then
+          err := Some "pcap: truncated packet data"
+        else begin
+          let pkt = Ppp_net.Packet.create ~cap:(max incl 60) incl in
+          Bytes.blit b (!pos + 16) pkt.Ppp_net.Packet.data 0 incl;
+          append t ~ts_usec:((sec * 1_000_000) + usec) pkt;
+          pos := !pos + 16 + incl
+        end
+      end
+    done;
+    match !err with Some e -> Error e | None -> Ok t
+  end
+
+let save t path =
+  let oc = open_out_bin path in
+  let b = to_bytes t in
+  output_bytes oc b;
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  of_bytes b
+
+let replay ?(loop = true) t =
+  if t.count = 0 then invalid_arg "Pcap.replay: empty capture";
+  let arr = Array.of_list (records t) in
+  let i = ref 0 in
+  fun pkt ->
+    if !i >= Array.length arr then
+      if loop then i := 0 else failwith "Pcap.replay: capture exhausted";
+    let r = arr.(!i) in
+    incr i;
+    let len = r.pkt.Ppp_net.Packet.len in
+    let len = min len (Ppp_net.Packet.capacity pkt) in
+    Bytes.blit r.pkt.Ppp_net.Packet.data 0 pkt.Ppp_net.Packet.data 0 len;
+    Ppp_net.Packet.resize pkt len

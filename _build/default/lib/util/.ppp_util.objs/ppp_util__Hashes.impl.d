@@ -1,0 +1,1 @@
+lib/util/hashes.ml: Array Bytes Char Int32 Int64 Lazy String

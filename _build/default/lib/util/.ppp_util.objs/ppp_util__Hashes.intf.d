@@ -1,0 +1,1 @@
+lib/util/hashes.mli: Bytes

@@ -1,0 +1,29 @@
+(** Fixed-memory log-bucketed histogram for latency-style distributions.
+
+    Values are bucketed geometrically (~4.6% relative resolution), so
+    recording is O(1) and percentile queries are approximate within one
+    bucket — the standard trade-off for per-packet latency tracking. *)
+
+type t
+
+val create : unit -> t
+(** Covers values in [0, 2^62). *)
+
+val record : t -> int -> unit
+(** Record a non-negative sample. *)
+
+val count : t -> int
+val total : t -> int
+(** Sum of all recorded samples. *)
+
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in [0,100]: an upper bound of the bucket
+    containing the p-th percentile sample. 0 when empty. *)
+
+val max_value : t -> int
+(** Upper bound of the highest non-empty bucket (0 when empty). *)
+
+val merge_into : src:t -> dst:t -> unit
+val clear : t -> unit

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    All simulator randomness flows through explicitly seeded generators so
+    that every experiment is exactly reproducible. The implementation is
+    splitmix64 (for seeding and streams) layered under xoshiro256**. *)
+
+type t
+(** A self-contained PRNG state. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from a 63-bit seed. Equal seeds yield
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each flow / generator its own stream. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state (the copy evolves independently). *)
+
+val bits64 : t -> int64
+(** Next 64 uniformly random bits. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+
+val byte : t -> int
+(** Uniform in [\[0, 255\]]. *)
+
+val fill_bytes : t -> Bytes.t -> unit
+(** Overwrite a byte buffer with random bytes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed positive float with the given mean. *)

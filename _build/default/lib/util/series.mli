@@ -1,0 +1,31 @@
+(** Sampled (x, y) series with piecewise-linear interpolation.
+
+    The prediction method of Section 4 reads a flow's performance drop off a
+    sensitivity curve sampled at discrete competing-refs/sec points; this
+    module is that curve abstraction. *)
+
+type t
+
+val of_points : (float * float) list -> t
+(** Builds a series from sample points; points are sorted by x. Duplicate x
+    values keep the last y. Raises [Invalid_argument] if empty. *)
+
+val points : t -> (float * float) array
+(** The sorted sample points. *)
+
+val eval : t -> float -> float
+(** [eval t x] interpolates linearly between the two samples bracketing [x];
+    clamps to the first/last y outside the sampled range. *)
+
+val map_y : (float -> float) -> t -> t
+
+val monotone_nondecreasing : t -> bool
+(** True when y never decreases as x grows (sanity check for sensitivity
+    curves). *)
+
+val knee : t -> threshold:float -> float option
+(** [knee t ~threshold] returns the smallest sampled x past which the total
+    remaining rise of the curve is at most [threshold] (absolute y units) —
+    the paper's "turning point" (Section 3.2). [None] if the curve never
+    settles, i.e. threshold is larger than the total rise only at the last
+    point. *)

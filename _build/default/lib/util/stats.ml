@@ -1,0 +1,57 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty array")
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "Stats.variance" xs;
+  let m = mean xs in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  acc /. float_of_int (Array.length xs)
+
+let stdev xs = sqrt (variance xs)
+
+let percentile xs p =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile xs 50.0
+
+let min_max xs =
+  check_nonempty "Stats.min_max" xs;
+  Array.fold_left
+    (fun (mn, mx) x -> (Float.min mn x, Float.max mx x))
+    (xs.(0), xs.(0)) xs
+
+let mean_ci95 xs =
+  let m = mean xs in
+  let n = float_of_int (Array.length xs) in
+  (m, 1.96 *. stdev xs /. sqrt n)
+
+type running = { mutable n : int; mutable m : float; mutable s : float }
+
+let running_create () = { n = 0; m = 0.0; s = 0.0 }
+
+let running_add r x =
+  r.n <- r.n + 1;
+  let delta = x -. r.m in
+  r.m <- r.m +. (delta /. float_of_int r.n);
+  r.s <- r.s +. (delta *. (x -. r.m))
+
+let running_count r = r.n
+let running_mean r = r.m
+
+let running_stdev r =
+  if r.n < 2 then 0.0 else sqrt (r.s /. float_of_int r.n)

@@ -1,0 +1,28 @@
+(** Small summary-statistics helpers for experiment reporting. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Population variance. *)
+
+val stdev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics. The input need not be sorted. *)
+
+val median : float array -> float
+val min_max : float array -> float * float
+
+val mean_ci95 : float array -> float * float
+(** Mean and the 95% normal-approximation confidence half-width. *)
+
+type running
+(** Online (Welford) accumulator. *)
+
+val running_create : unit -> running
+val running_add : running -> float -> unit
+val running_count : running -> int
+val running_mean : running -> float
+val running_stdev : running -> float

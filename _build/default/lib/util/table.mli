@@ -1,0 +1,29 @@
+(** Aligned plain-text tables for experiment output (paper-style rows). *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> string list -> t
+(** [create ~title headers] starts a table with the given column headers.
+    Columns default to right alignment except the first, which is left. *)
+
+val set_align : t -> int -> align -> unit
+
+val add_row : t -> string list -> unit
+(** Row length must match the header length. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** Convenience: format a single string then split on ['|'] into cells. *)
+
+val to_string : t -> string
+val print : t -> unit
+
+val cell_f : float -> string
+(** Format a float with 2 decimals. *)
+
+val cell_pct : float -> string
+(** Format a fraction as a percentage with 2 decimals, e.g. [0.27] -> "27.00". *)
+
+val cell_millions : float -> string
+(** Format a count as millions with 2 decimals. *)

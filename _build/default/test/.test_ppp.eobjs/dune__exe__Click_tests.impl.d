@@ -1,0 +1,1 @@
+test/click_tests.ml: Alcotest Array Config Ctx Element Flow List Ppp_apps Ppp_click Ppp_hw Ppp_net Ppp_simmem Ppp_traffic Ppp_util Staged String

@@ -1,0 +1,1 @@
+test/ext_tests.ml: Alcotest Bytes Filename Gen List Ppp_apps Ppp_click Ppp_core Ppp_experiments Ppp_hw Ppp_net Ppp_simmem Ppp_traffic Ppp_util Printf QCheck QCheck_alcotest String Sys

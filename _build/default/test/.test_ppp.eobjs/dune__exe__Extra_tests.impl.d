@@ -1,0 +1,1 @@
+test/extra_tests.ml: Alcotest Array Bytes List Ppp_apps Ppp_click Ppp_core Ppp_hw Ppp_net Ppp_simmem Ppp_traffic Ppp_util String

@@ -1,0 +1,1 @@
+test/hw_tests.ml: Alcotest Array Cache Costs Counters Engine Fn Gen Hierarchy List Machine Memctrl Ppp_hw Ppp_util QCheck QCheck_alcotest Topology Trace

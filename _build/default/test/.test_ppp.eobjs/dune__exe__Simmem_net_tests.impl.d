@@ -1,0 +1,1 @@
+test/simmem_net_tests.ml: Alcotest Bytes Char Checksum Ethernet Flowid Heap Iarray Ibuf Ipv4 Packet Ppp_hw Ppp_net Ppp_simmem Ppp_traffic QCheck QCheck_alcotest Transport

@@ -1,0 +1,1 @@
+test/traffic_tests.ml: Alcotest Gen Ppp_net Ppp_traffic Ppp_util QCheck QCheck_alcotest Zipf

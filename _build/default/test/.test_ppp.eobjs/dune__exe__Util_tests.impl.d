@@ -1,0 +1,1 @@
+test/util_tests.ml: Alcotest Array Bytes Float Fun Gen Hashes Int64 List Ppp_util QCheck QCheck_alcotest Rng Series Stats String Table

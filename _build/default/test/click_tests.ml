@@ -1,0 +1,257 @@
+open Ppp_click
+
+let heap () = Ppp_simmem.Heap.create ~node:0
+let rng () = Ppp_util.Rng.create ~seed:11
+
+(* --- Element / pipeline --- *)
+
+let counting_element name hits =
+  Element.make ~kind:name (fun _ctx _pkt ->
+      incr hits;
+      Element.Forward)
+
+let dropping_element () = Element.make ~kind:"Drop" (fun _ _ -> Element.Drop)
+
+let test_chain_runs_in_order () =
+  let trace = ref [] in
+  let el name =
+    Element.make ~kind:name (fun _ _ ->
+        trace := name :: !trace;
+        Element.Forward)
+  in
+  let ctx = Ctx.create ~rng:(rng ()) in
+  let p = Ppp_net.Packet.create 60 in
+  let v = Element.process_all [ el "a"; el "b"; el "c" ] ctx p in
+  Alcotest.(check bool) "forwarded" true (v = Element.Forward);
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !trace)
+
+let test_chain_stops_at_drop () =
+  let after = ref 0 in
+  let ctx = Ctx.create ~rng:(rng ()) in
+  let p = Ppp_net.Packet.create 60 in
+  let v =
+    Element.process_all
+      [ dropping_element (); counting_element "x" after ]
+      ctx p
+  in
+  Alcotest.(check bool) "dropped" true (v = Element.Drop);
+  Alcotest.(check int) "later elements skipped" 0 !after
+
+let test_ctx_touch_packet_lines () =
+  let ctx = Ctx.create ~rng:(rng ()) in
+  let p = Ppp_net.Packet.create 200 in
+  p.Ppp_net.Packet.buf_addr <- 0x10000;
+  Ctx.touch_packet ctx p ~fn:Ppp_hw.Fn.none ~write:false ~pos:0 ~len:130;
+  let t = Ppp_hw.Trace.Builder.finish ctx.Ctx.builder in
+  Alcotest.(check int) "130B = 3 lines" 3 (Ppp_hw.Trace.length t)
+
+let test_ctx_touch_unplaced_packet_noop () =
+  let ctx = Ctx.create ~rng:(rng ()) in
+  let p = Ppp_net.Packet.create 200 in
+  Ctx.touch_packet ctx p ~fn:Ppp_hw.Fn.none ~write:false ~pos:0 ~len:64;
+  Alcotest.(check int) "no refs for unplaced packet" 0
+    (Ppp_hw.Trace.Builder.length ctx.Ctx.builder)
+
+(* --- Flow --- *)
+
+let simple_gen pkt =
+  Ppp_traffic.Gen.fill_ipv4_udp pkt ~src:0x0A000001 ~dst:0x0A000002 ~sport:1
+    ~dport:2 ~wire_len:64
+
+let test_flow_produces_packet_traces () =
+  let hits = ref 0 in
+  let flow =
+    Flow.create ~heap:(heap ()) ~rng:(rng ()) ~label:"t" ~gen:simple_gen
+      ~elements:[ counting_element "c" hits ] ()
+  in
+  let source = Flow.source flow in
+  (match source 0 with
+  | Ppp_hw.Engine.Packet t ->
+      Alcotest.(check bool) "has DMA ops" true
+        (let dmas = ref 0 in
+         Ppp_hw.Trace.iter t (fun k _ _ -> if k = Ppp_hw.Trace.Dma then incr dmas);
+         !dmas >= 2);
+      Alcotest.(check bool) "has refs" true (Ppp_hw.Trace.mem_refs t > 0)
+  | Ppp_hw.Engine.Idle _ -> Alcotest.fail "expected a packet item");
+  Alcotest.(check int) "element saw the packet" 1 !hits;
+  Alcotest.(check int) "forwarded" 1 (Flow.forwarded flow)
+
+let test_flow_counts_drops () =
+  let flow =
+    Flow.create ~heap:(heap ()) ~rng:(rng ()) ~label:"t" ~gen:simple_gen
+      ~elements:[ dropping_element () ] ()
+  in
+  let source = Flow.source flow in
+  ignore (source 0);
+  ignore (source 100);
+  Alcotest.(check int) "drops counted" 2 (Flow.dropped flow);
+  Alcotest.(check int) "nothing forwarded" 0 (Flow.forwarded flow)
+
+let test_flow_buffer_rotation () =
+  let flow =
+    Flow.create ~heap:(heap ()) ~rng:(rng ()) ~label:"t" ~gen:simple_gen
+      ~elements:[] ~rx_slots:4 ()
+  in
+  let source = Flow.source flow in
+  let addr_of item =
+    match item with
+    | Ppp_hw.Engine.Packet t ->
+        (* First DMA op is the descriptor; second is the buffer. *)
+        let addrs = ref [] in
+        Ppp_hw.Trace.iter t (fun k _ p ->
+            if k = Ppp_hw.Trace.Dma then addrs := p :: !addrs);
+        List.nth (List.rev !addrs) 1
+    | _ -> Alcotest.fail "packet expected"
+  in
+  let a0 = addr_of (source 0) in
+  let a1 = addr_of (source 1) in
+  Alcotest.(check bool) "distinct buffers" true (a0 <> a1);
+  ignore (source 2);
+  ignore (source 3);
+  Alcotest.(check int) "wraps to first buffer" a0 (addr_of (source 4))
+
+(* --- Staged --- *)
+
+let test_staged_requires_two_stages () =
+  Alcotest.check_raises "one stage"
+    (Invalid_argument "Staged.create: need at least two stages") (fun () ->
+      ignore
+        (Staged.create ~heap:(heap ()) ~rng:(rng ()) ~label:"s" ~gen:simple_gen
+           ~stages:[ [] ] ()))
+
+let test_staged_pipeline_flows_packets () =
+  let seen0 = ref 0 and seen1 = ref 0 in
+  let staged =
+    Staged.create ~heap:(heap ()) ~rng:(rng ()) ~label:"s" ~gen:simple_gen
+      ~stages:
+        [ [ counting_element "s0" seen0 ]; [ counting_element "s1" seen1 ] ]
+      ~queue_slots:4 ()
+  in
+  let sources = Staged.sources staged in
+  Alcotest.(check int) "two sources" 2 (Staged.num_stages staged);
+  (* Drive by hand: stage1 starves until stage0 pushes. *)
+  (match sources.(1) 0 with
+  | Ppp_hw.Engine.Idle _ -> ()
+  | Ppp_hw.Engine.Packet _ -> Alcotest.fail "consumer should starve");
+  ignore (sources.(0) 10);
+  (match sources.(1) 20 with
+  | Ppp_hw.Engine.Packet _ -> ()
+  | Ppp_hw.Engine.Idle _ -> Alcotest.fail "consumer should have work");
+  Alcotest.(check int) "stage0 processed" 1 !seen0;
+  Alcotest.(check int) "stage1 processed" 1 !seen1;
+  Alcotest.(check int) "egress counted" 1 (Staged.forwarded staged)
+
+let test_staged_backpressure () =
+  let staged =
+    Staged.create ~heap:(heap ()) ~rng:(rng ()) ~label:"s" ~gen:simple_gen
+      ~stages:[ []; [] ] ~queue_slots:2 ()
+  in
+  let sources = Staged.sources staged in
+  ignore (sources.(0) 0);
+  ignore (sources.(0) 1);
+  (* Queue full: producer must idle. *)
+  match sources.(0) 2 with
+  | Ppp_hw.Engine.Idle _ -> ()
+  | Ppp_hw.Engine.Packet _ -> Alcotest.fail "expected backpressure"
+
+(* --- Config parser --- *)
+
+let test_config_parse_simple () =
+  match Config.parse "FromDevice(0) -> CheckIPHeader -> ToDevice(0)" with
+  | Ok [ a; b; c ] ->
+      Alcotest.(check string) "first" "FromDevice" a.Config.kind;
+      Alcotest.(check (list string)) "args" [ "0" ] a.Config.args;
+      Alcotest.(check string) "middle" "CheckIPHeader" b.Config.kind;
+      Alcotest.(check (list string)) "no args" [] b.Config.args;
+      Alcotest.(check string) "last" "ToDevice" c.Config.kind
+  | Ok _ -> Alcotest.fail "wrong arity"
+  | Error e -> Alcotest.fail e
+
+let test_config_parse_multi_args_and_comments () =
+  let src = "RadixIPLookup(16384, 512) // the table\n -> FlowStats(12500)" in
+  match Config.parse src with
+  | Ok [ a; b ] ->
+      Alcotest.(check (list string)) "two args" [ "16384"; "512" ] a.Config.args;
+      Alcotest.(check string) "second" "FlowStats" b.Config.kind
+  | Ok _ -> Alcotest.fail "wrong arity"
+  | Error e -> Alcotest.fail e
+
+let test_config_parse_errors () =
+  let bad s =
+    match Config.parse s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "empty element" true (bad "A -> -> B");
+  Alcotest.(check bool) "missing paren" true (bad "A(1 -> B");
+  Alcotest.(check bool) "bad name" true (bad "A b(1)");
+  Alcotest.(check bool) "empty arg" true (bad "A(1,,2)")
+
+let test_config_to_string_roundtrip () =
+  let src = "FromDevice(0) -> RadixIPLookup(64, 8) -> ToDevice(0)" in
+  match Config.parse src with
+  | Ok decls -> (
+      Alcotest.(check string) "print form" src (Config.to_string decls);
+      match Config.parse (Config.to_string decls) with
+      | Ok decls' -> Alcotest.(check bool) "reparse" true (decls = decls')
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e
+
+let test_config_registry_and_instantiate () =
+  Ppp_apps.App.register_all ();
+  let ctx =
+    {
+      Config.Registry.heap = heap ();
+      rng = rng ();
+      scale = 128;
+    }
+  in
+  let src =
+    "FromDevice(0) -> CheckIPHeader -> RadixIPLookup(64, 8) -> DecIPTTL -> \
+     FlowStats(100) -> ToDevice(0)"
+  in
+  match Config.parse src with
+  | Error e -> Alcotest.fail e
+  | Ok decls -> (
+      match Config.instantiate ctx decls with
+      | Ok elements ->
+          (* FromDevice/ToDevice are skipped. *)
+          Alcotest.(check int) "four middle elements" 4 (List.length elements)
+      | Error e -> Alcotest.fail e)
+
+let test_config_unknown_element () =
+  Ppp_apps.App.register_all ();
+  let ctx = { Config.Registry.heap = heap (); rng = rng (); scale = 128 } in
+  match Config.instantiate ctx [ { Config.kind = "NoSuchThing"; args = [] } ] with
+  | Ok _ -> Alcotest.fail "should not resolve"
+  | Error e ->
+      Alcotest.(check bool) "mentions the class" true
+        (String.length e > 0)
+
+let test_config_known_lists_registered () =
+  Ppp_apps.App.register_all ();
+  let known = Config.Registry.known () in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " registered") true (List.mem k known))
+    [ "CheckIPHeader"; "RadixIPLookup"; "DecIPTTL"; "FlowStats"; "Firewall";
+      "REEncode"; "VPNEncrypt"; "Syn" ]
+
+let tests =
+  [
+    Alcotest.test_case "chain order" `Quick test_chain_runs_in_order;
+    Alcotest.test_case "chain stops at drop" `Quick test_chain_stops_at_drop;
+    Alcotest.test_case "ctx touch lines" `Quick test_ctx_touch_packet_lines;
+    Alcotest.test_case "ctx unplaced noop" `Quick test_ctx_touch_unplaced_packet_noop;
+    Alcotest.test_case "flow packet traces" `Quick test_flow_produces_packet_traces;
+    Alcotest.test_case "flow counts drops" `Quick test_flow_counts_drops;
+    Alcotest.test_case "flow buffer rotation" `Quick test_flow_buffer_rotation;
+    Alcotest.test_case "staged needs two stages" `Quick test_staged_requires_two_stages;
+    Alcotest.test_case "staged pipeline flow" `Quick test_staged_pipeline_flows_packets;
+    Alcotest.test_case "staged backpressure" `Quick test_staged_backpressure;
+    Alcotest.test_case "config parse simple" `Quick test_config_parse_simple;
+    Alcotest.test_case "config args + comments" `Quick test_config_parse_multi_args_and_comments;
+    Alcotest.test_case "config parse errors" `Quick test_config_parse_errors;
+    Alcotest.test_case "config to_string roundtrip" `Quick test_config_to_string_roundtrip;
+    Alcotest.test_case "config instantiate" `Quick test_config_registry_and_instantiate;
+    Alcotest.test_case "config unknown element" `Quick test_config_unknown_element;
+    Alcotest.test_case "config registry population" `Quick test_config_known_lists_registered;
+  ]

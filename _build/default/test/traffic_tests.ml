@@ -1,0 +1,81 @@
+open Ppp_traffic
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~n:100 ~s:1.0 in
+  let rng = Ppp_util.Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Zipf.sample z rng in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 100)
+  done
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:1000 ~s:1.2 in
+  let rng = Ppp_util.Rng.create ~seed:2 in
+  let top10 = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Zipf.sample z rng < 10 then incr top10
+  done;
+  (* With s = 1.2, the top-10 ranks carry far more than 1% of the mass. *)
+  Alcotest.(check bool) "head heavy" true (!top10 > n / 5)
+
+let test_zipf_uniform_when_s0 () =
+  let z = Zipf.create ~n:10 ~s:0.0 in
+  Alcotest.(check (float 1e-9)) "uniform mass" 0.5 (Zipf.expected_mass z 5)
+
+let test_zipf_expected_mass_monotone () =
+  let z = Zipf.create ~n:50 ~s:0.8 in
+  Alcotest.(check bool) "monotone" true
+    (Zipf.expected_mass z 10 < Zipf.expected_mass z 20);
+  Alcotest.(check (float 1e-9)) "total" 1.0 (Zipf.expected_mass z 50)
+
+let test_gen_builds_valid_frames () =
+  let p = Ppp_net.Packet.create 128 in
+  Gen.fill_ipv4_udp p ~src:0x0A000001 ~dst:0x0B000002 ~sport:53 ~dport:5353
+    ~wire_len:90;
+  Alcotest.(check int) "len" 90 p.Ppp_net.Packet.len;
+  Alcotest.(check int) "ethertype" Ppp_net.Ethernet.ethertype_ipv4
+    (Ppp_net.Ethernet.ethertype p);
+  Alcotest.(check bool) "valid IP" true (Ppp_net.Ipv4.valid p);
+  Alcotest.(check int) "sport" 53 (Ppp_net.Transport.src_port p)
+
+let test_gen_rejects_short () =
+  let p = Ppp_net.Packet.create 128 in
+  Alcotest.check_raises "short" (Invalid_argument "Gen.fill_ipv4_udp: too short")
+    (fun () ->
+      Gen.fill_ipv4_udp p ~src:0 ~dst:0 ~sport:0 ~dport:0 ~wire_len:40)
+
+let test_seeded_payload_deterministic () =
+  let p1 = Ppp_net.Packet.create 256 and p2 = Ppp_net.Packet.create 256 in
+  Ppp_net.Packet.resize p1 200;
+  Ppp_net.Packet.resize p2 200;
+  Gen.seeded_payload ~seed:99 p1 ~pos:42 ~len:150;
+  Gen.seeded_payload ~seed:99 p2 ~pos:42 ~len:150;
+  Alcotest.(check string) "identical"
+    (Ppp_net.Packet.sub_string p1 ~pos:42 ~len:150)
+    (Ppp_net.Packet.sub_string p2 ~pos:42 ~len:150);
+  Gen.seeded_payload ~seed:100 p2 ~pos:42 ~len:150;
+  Alcotest.(check bool) "different seed differs" false
+    (Ppp_net.Packet.sub_string p1 ~pos:42 ~len:150
+    = Ppp_net.Packet.sub_string p2 ~pos:42 ~len:150)
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~count:200 ~name:"zipf sample within [0,n)"
+    QCheck.(pair (int_range 1 500) (float_bound_inclusive 2.0))
+    (fun (n, s) ->
+      let z = Zipf.create ~n ~s in
+      let rng = Ppp_util.Rng.create ~seed:(n + int_of_float (s *. 100.0)) in
+      let v = Zipf.sample z rng in
+      v >= 0 && v < n)
+
+let tests =
+  [
+    Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf uniform at s=0" `Quick test_zipf_uniform_when_s0;
+    Alcotest.test_case "zipf mass monotone" `Quick test_zipf_expected_mass_monotone;
+    Alcotest.test_case "gen valid frames" `Quick test_gen_builds_valid_frames;
+    Alcotest.test_case "gen rejects short" `Quick test_gen_rejects_short;
+    Alcotest.test_case "seeded payload deterministic" `Quick test_seeded_payload_deterministic;
+    QCheck_alcotest.to_alcotest prop_zipf_in_range;
+  ]

@@ -1,0 +1,300 @@
+open Ppp_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" false
+    (List.init 4 (fun _ -> Rng.bits64 a) = List.init 4 (fun _ -> Rng.bits64 b))
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_pow2 () =
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int rng 64 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 64)
+  done
+
+let test_rng_int_in () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_rejects_bad_bounds () =
+  let rng = Rng.create ~seed:6 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:8 in
+  let b = Rng.split a in
+  let xs = List.init 8 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 8 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "streams differ" false (xs = ys)
+
+let test_rng_uniformity () =
+  (* Chi-square-ish sanity: each of 8 buckets gets 10-15% of 40000 draws. *)
+  let rng = Rng.create ~seed:9 in
+  let buckets = Array.make 8 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 8 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "roughly uniform" true
+        (c > n / 10 && c < n * 15 / 100))
+    buckets
+
+let test_rng_float_range () =
+  let rng = Rng.create ~seed:10 in
+  for _ = 1 to 1_000 do
+    let x = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create ~seed:11 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create ~seed:12 in
+  let acc = ref 0.0 in
+  for _ = 1 to 5_000 do
+    let x = Rng.exponential rng ~mean:3.0 in
+    Alcotest.(check bool) "positive" true (x >= 0.0);
+    acc := !acc +. x
+  done;
+  let mean = !acc /. 5000.0 in
+  Alcotest.(check bool) "mean near 3" true (mean > 2.7 && mean < 3.3)
+
+(* --- Hashes --- *)
+
+let test_fnv_known () =
+  (* FNV-1a 64-bit of "a" is 0xaf63dc4c8601ec8c; we mask to 62 bits. *)
+  let h = Hashes.fnv1a_bytes (Bytes.of_string "a") ~pos:0 ~len:1 in
+  let expected =
+    Int64.to_int (Int64.logand 0xaf63dc4c8601ec8cL (Int64.of_int ((1 lsl 62) - 1)))
+  in
+  Alcotest.(check int) "fnv(a)" expected h
+
+let test_fnv_slice () =
+  let b = Bytes.of_string "xxhelloyy" in
+  let h1 = Hashes.fnv1a_bytes b ~pos:2 ~len:5 in
+  let h2 = Hashes.fnv1a_bytes (Bytes.of_string "hello") ~pos:0 ~len:5 in
+  Alcotest.(check int) "slice equals standalone" h2 h1
+
+let test_fnv_out_of_bounds () =
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Hashes.fnv1a_bytes: slice out of bounds") (fun () ->
+      ignore (Hashes.fnv1a_bytes (Bytes.create 4) ~pos:2 ~len:3))
+
+let test_crc32_known () =
+  (* CRC-32 of "123456789" is 0xCBF43926. *)
+  Alcotest.(check int32) "crc32 check value" 0xCBF43926l
+    (Hashes.crc32_string "123456789")
+
+let test_crc32_empty () =
+  Alcotest.(check int32) "crc32 of empty" 0l (Hashes.crc32_string "")
+
+let test_combine_nontrivial () =
+  Alcotest.(check bool) "combine differs from inputs" true
+    (Hashes.combine 1 2 <> Hashes.combine 2 1)
+
+let test_fold_int () =
+  let h = Hashes.fnv1a_int 123456 in
+  let f = Hashes.fold_int h ~bits:10 in
+  Alcotest.(check bool) "folded in range" true (f >= 0 && f < 1024)
+
+(* --- Stats --- *)
+
+let test_mean () = check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |])
+
+let test_variance () =
+  check_float "variance" 2.0 (Stats.variance [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let test_percentile_median () =
+  check_float "median" 3.0 (Stats.median [| 5.0; 1.0; 3.0; 2.0; 4.0 |])
+
+let test_percentile_interpolates () =
+  check_float "p25" 1.5 (Stats.percentile [| 1.0; 2.0; 3.0 |] 25.0)
+
+let test_percentile_extremes () =
+  let xs = [| 9.0; 1.0; 5.0 |] in
+  check_float "p0" 1.0 (Stats.percentile xs 0.0);
+  check_float "p100" 9.0 (Stats.percentile xs 100.0)
+
+let test_min_max () =
+  let mn, mx = Stats.min_max [| 3.0; -1.0; 7.0 |] in
+  check_float "min" (-1.0) mn;
+  check_float "max" 7.0 mx
+
+let test_empty_raises () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_running_matches_batch () =
+  let xs = Array.init 100 (fun i -> float_of_int (i * i) /. 7.0) in
+  let r = Stats.running_create () in
+  Array.iter (Stats.running_add r) xs;
+  Alcotest.(check int) "count" 100 (Stats.running_count r);
+  Alcotest.(check (float 1e-6)) "mean" (Stats.mean xs) (Stats.running_mean r);
+  Alcotest.(check (float 1e-6)) "stdev" (Stats.stdev xs) (Stats.running_stdev r)
+
+(* --- Table --- *)
+
+let test_table_renders () =
+  let t = Table.create ~title:"T" [ "a"; "bb" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yy"; "22" ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check bool) "contains row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "yy  22"))
+
+let test_table_arity_mismatch () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "pct" "27.00" (Table.cell_pct 0.27);
+  Alcotest.(check string) "millions" "25.85" (Table.cell_millions 25.85e6)
+
+(* --- Series --- *)
+
+let test_series_eval_exact () =
+  let s = Series.of_points [ (0.0, 0.0); (10.0, 1.0) ] in
+  check_float "at sample" 1.0 (Series.eval s 10.0)
+
+let test_series_eval_interpolates () =
+  let s = Series.of_points [ (0.0, 0.0); (10.0, 1.0) ] in
+  check_float "midpoint" 0.5 (Series.eval s 5.0)
+
+let test_series_eval_clamps () =
+  let s = Series.of_points [ (1.0, 2.0); (3.0, 4.0) ] in
+  check_float "below" 2.0 (Series.eval s 0.0);
+  check_float "above" 4.0 (Series.eval s 100.0)
+
+let test_series_unsorted_input () =
+  let s = Series.of_points [ (3.0, 4.0); (1.0, 2.0) ] in
+  check_float "sorted internally" 3.0 (Series.eval s 2.0)
+
+let test_series_duplicate_x () =
+  let s = Series.of_points [ (1.0, 2.0); (1.0, 9.0); (2.0, 0.0) ] in
+  check_float "last wins" 9.0 (Series.eval s 1.0)
+
+let test_series_monotone () =
+  Alcotest.(check bool) "monotone" true
+    (Series.monotone_nondecreasing
+       (Series.of_points [ (0.0, 0.0); (1.0, 0.5); (2.0, 0.5) ]));
+  Alcotest.(check bool) "not monotone" false
+    (Series.monotone_nondecreasing
+       (Series.of_points [ (0.0, 1.0); (1.0, 0.5) ]))
+
+let test_series_knee () =
+  let s =
+    Series.of_points [ (0.0, 0.0); (50.0, 0.20); (100.0, 0.24); (200.0, 0.25) ]
+  in
+  match Series.knee s ~threshold:0.05 with
+  | Some x -> check_float "knee at 50" 50.0 x
+  | None -> Alcotest.fail "expected a knee"
+
+(* --- qcheck properties --- *)
+
+let prop_series_eval_within_bounds =
+  QCheck.Test.make ~count:200 ~name:"series eval bounded by sampled ys"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 10) (pair (float_bound_exclusive 100.0) (float_bound_exclusive 1.0)))
+        (float_bound_exclusive 120.0))
+    (fun (pts, x) ->
+      QCheck.assume (pts <> []);
+      let s = Series.of_points pts in
+      let ys = List.map snd pts in
+      let lo = List.fold_left Float.min (List.hd ys) ys in
+      let hi = List.fold_left Float.max (List.hd ys) ys in
+      let v = Series.eval s x in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~count:200 ~name:"percentile monotone in p"
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 1 20) (float_bound_exclusive 1000.0))
+        (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun (xs, (p1, p2)) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+let prop_rng_int_in_range =
+  QCheck.Test.make ~count:500 ~name:"Rng.int in range"
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let tests =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng int pow2" `Quick test_rng_int_pow2;
+    Alcotest.test_case "rng int_in" `Quick test_rng_int_in;
+    Alcotest.test_case "rng rejects bad bounds" `Quick test_rng_rejects_bad_bounds;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
+    Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng shuffle permutes" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "rng exponential" `Quick test_rng_exponential_positive;
+    Alcotest.test_case "fnv known vector" `Quick test_fnv_known;
+    Alcotest.test_case "fnv slice" `Quick test_fnv_slice;
+    Alcotest.test_case "fnv bounds check" `Quick test_fnv_out_of_bounds;
+    Alcotest.test_case "crc32 known vector" `Quick test_crc32_known;
+    Alcotest.test_case "crc32 empty" `Quick test_crc32_empty;
+    Alcotest.test_case "hash combine" `Quick test_combine_nontrivial;
+    Alcotest.test_case "fold_int range" `Quick test_fold_int;
+    Alcotest.test_case "stats mean" `Quick test_mean;
+    Alcotest.test_case "stats variance" `Quick test_variance;
+    Alcotest.test_case "stats median" `Quick test_percentile_median;
+    Alcotest.test_case "stats percentile interpolation" `Quick test_percentile_interpolates;
+    Alcotest.test_case "stats percentile extremes" `Quick test_percentile_extremes;
+    Alcotest.test_case "stats min_max" `Quick test_min_max;
+    Alcotest.test_case "stats empty raises" `Quick test_empty_raises;
+    Alcotest.test_case "stats running accumulator" `Quick test_running_matches_batch;
+    Alcotest.test_case "table renders" `Quick test_table_renders;
+    Alcotest.test_case "table arity" `Quick test_table_arity_mismatch;
+    Alcotest.test_case "table cells" `Quick test_table_cells;
+    Alcotest.test_case "series eval exact" `Quick test_series_eval_exact;
+    Alcotest.test_case "series interpolation" `Quick test_series_eval_interpolates;
+    Alcotest.test_case "series clamping" `Quick test_series_eval_clamps;
+    Alcotest.test_case "series unsorted input" `Quick test_series_unsorted_input;
+    Alcotest.test_case "series duplicate x" `Quick test_series_duplicate_x;
+    Alcotest.test_case "series monotonicity check" `Quick test_series_monotone;
+    Alcotest.test_case "series knee" `Quick test_series_knee;
+    QCheck_alcotest.to_alcotest prop_series_eval_within_bounds;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_rng_int_in_range;
+  ]
