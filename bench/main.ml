@@ -5,12 +5,33 @@
    reports. Part 2 runs Bechamel microbenchmarks of the hot simulator and
    application paths, one per subsystem a table/figure leans on.
 
-   Pass --quick for quarter-length measurement windows. *)
+   Pass --quick for quarter-length measurement windows, --tables-only to
+   skip the (wall-clock, hence nondeterministic) microbenchmarks — with it,
+   stdout is byte-identical across --jobs values for a given seed. *)
 
 open Bechamel
 open Toolkit
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+let tables_only = Array.exists (fun a -> a = "--tables-only") Sys.argv
+
+(* --jobs N / --jobs=N: worker domains for experiment cells (0 = physical
+   cores). Tables are byte-identical for any value. *)
+let () =
+  let jobs = ref None in
+  Array.iteri
+    (fun i a ->
+      match String.index_opt a '=' with
+      | Some eq when String.sub a 0 eq = "--jobs" ->
+          jobs :=
+            int_of_string_opt (String.sub a (eq + 1) (String.length a - eq - 1))
+      | _ ->
+          if a = "--jobs" && i + 1 < Array.length Sys.argv then
+            jobs := int_of_string_opt Sys.argv.(i + 1))
+    Sys.argv;
+  match !jobs with
+  | Some n when n >= 0 -> Ppp_core.Parallel.set_jobs n
+  | _ -> ()
 
 let params =
   let p = Ppp_core.Runner.default_params in
@@ -34,7 +55,10 @@ let reproduce () =
         e.Ppp_experiments.Registry.paper_ref e.Ppp_experiments.Registry.title;
       let t0 = Unix.gettimeofday () in
       print_string (e.Ppp_experiments.Registry.run ~params ());
-      Printf.printf "(%.1fs)\n%!" (Unix.gettimeofday () -. t0))
+      (* Wall-clock goes to stderr so stdout is byte-identical across job
+         counts, seeds being equal. *)
+      Printf.eprintf "[%s: %.1fs]\n%!" e.Ppp_experiments.Registry.id
+        (Unix.gettimeofday () -. t0))
     Ppp_experiments.Registry.all
 
 (* --- Part 2: microbenchmarks of the paths each experiment exercises --- *)
@@ -250,4 +274,4 @@ let microbenchmarks () =
 
 let () =
   reproduce ();
-  microbenchmarks ()
+  if not tables_only then microbenchmarks ()

@@ -27,20 +27,32 @@ let params_term =
       value & flag
       & info [ "quick" ] ~doc:"Quarter-length windows (faster, noisier).")
   in
-  let build config seed warmup measure quick =
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for independent experiment cells (0 = physical \
+             cores, 1 = sequential). Output is byte-identical for any value.")
+  in
+  let build config seed warmup measure quick jobs =
     match Ppp_hw.Machine.by_name config with
     | None -> `Error (false, Printf.sprintf "unknown config %S" config)
     | Some c ->
-        let div = if quick then 4 else 1 in
-        `Ok
-          {
-            Ppp_core.Runner.config = c;
-            seed;
-            warmup_cycles = warmup / div;
-            measure_cycles = measure / div;
-          }
+        if jobs < 0 then `Error (false, "--jobs must be >= 0")
+        else begin
+          Ppp_core.Parallel.set_jobs jobs;
+          let div = if quick then 4 else 1 in
+          `Ok
+            {
+              Ppp_core.Runner.config = c;
+              seed;
+              warmup_cycles = warmup / div;
+              measure_cycles = measure / div;
+            }
+        end
   in
-  Term.(ret (const build $ config $ seed $ warmup $ measure $ quick))
+  Term.(ret (const build $ config $ seed $ warmup $ measure $ quick $ jobs))
 
 let list_cmd =
   let run () =
@@ -64,7 +76,10 @@ let run_experiment params id =
         e.Ppp_experiments.Registry.paper_ref e.Ppp_experiments.Registry.title;
       let t0 = Unix.gettimeofday () in
       let out = e.Ppp_experiments.Registry.run ~params () in
-      Printf.printf "%s\n(%.1fs)\n\n%!" out (Unix.gettimeofday () -. t0)
+      Printf.printf "%s\n%!" out;
+      (* Wall-clock goes to stderr so stdout is byte-identical across job
+         counts, seeds being equal. *)
+      Printf.eprintf "[%s: %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
 
 let run_cmd =
   let ids =

@@ -7,7 +7,7 @@ type entry = {
 type t = (Ppp_apps.App.kind * entry) list
 
 let build ?(params = Runner.default_params) ?levels ~targets () =
-  List.map
+  Parallel.map
     (fun kind ->
       let curve = Sensitivity.measure ~params ?levels ~resource:Sensitivity.Both kind in
       let solo = Runner.solo ~params kind in

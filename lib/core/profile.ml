@@ -31,7 +31,9 @@ let of_result kind (r : Ppp_hw.Engine.result) =
   }
 
 let solo ?params kind = of_result kind (Runner.solo ?params kind)
-let table1 ?params kinds = List.map (solo ?params) kinds
+
+(* One cell per kind; Runner.solo derives each cell's seed from the kind. *)
+let table1 ?params kinds = Parallel.map (solo ?params) kinds
 
 let to_table profiles =
   let open Ppp_util in

@@ -70,8 +70,15 @@ let run ?params specs =
   (* Results come back in input order already (Engine preserves it). *)
   run ?params specs
 
-let solo ?params kind =
-  match run ?params [ flow_on ~core:0 kind ] with
+let cell_params params label =
+  { params with seed = Ppp_util.Rng.derive ~seed:params.seed label }
+
+let solo ?(params = default_params) kind =
+  (* A pure function of (params, kind): the seed is derived from the kind's
+     name, so a solo baseline computed anywhere — any experiment, any cell
+     order, any job count — is the same simulation. *)
+  let params = cell_params params ("solo/" ^ Ppp_apps.App.name kind) in
+  match run ~params [ flow_on ~core:0 kind ] with
   | [ r ] -> r
   | _ -> assert false
 

@@ -35,8 +35,17 @@ val run : ?params:params -> spec list -> Ppp_hw.Engine.result list
 (** Builds a fresh machine, instantiates each spec as a flow, runs, and
     returns results in spec order. *)
 
+val cell_params : params -> string -> params
+(** [cell_params p label] is [p] with its seed replaced by
+    [Rng.derive ~seed:p.seed label]: the per-cell parameters of one
+    independent experiment cell. Deriving each cell's stream from a label
+    (instead of splitting a shared generator) keeps cells order-independent,
+    so {!Parallel.map} over cells is byte-identical to a sequential loop. *)
+
 val solo : ?params:params -> Ppp_apps.App.kind -> Ppp_hw.Engine.result
-(** The kind alone on core 0, data local. *)
+(** The kind alone on core 0, data local. Seeded from
+    [cell_params params ("solo/" ^ name kind)], making the solo baseline of
+    a kind identical wherever it is computed. *)
 
 val drop : solo:Ppp_hw.Engine.result -> corun:Ppp_hw.Engine.result -> float
 (** Fractional contention-induced drop, >= -epsilon in practice. *)

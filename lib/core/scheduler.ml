@@ -76,18 +76,22 @@ type evaluation = {
 let evaluate ?(params = Runner.default_params) ?(solo = []) combo =
   let config = params.Runner.config in
   let cps = Ppp_hw.Machine.cores_per_socket config in
-  let solo_cache = Hashtbl.create 8 in
-  List.iter (fun (k, pps) -> Hashtbl.replace solo_cache k pps) solo;
-  let solo_pps kind =
-    match Hashtbl.find_opt solo_cache kind with
-    | Some pps -> pps
-    | None ->
-        let r = Runner.solo ~params kind in
-        let pps = r.Ppp_hw.Engine.throughput_pps in
-        Hashtbl.replace solo_cache kind pps;
-        pps
+  (* Resolve every solo baseline up front (in parallel for the missing
+     ones): the placement cells below must not share mutable state. *)
+  let solos =
+    List.map fst combo
+    |> List.sort_uniq compare
+    |> Parallel.map (fun k ->
+           match List.assoc_opt k solo with
+           | Some pps -> (k, pps)
+           | None -> (k, (Runner.solo ~params k).Ppp_hw.Engine.throughput_pps))
   in
-  let eval placement =
+  let solo_pps kind = List.assoc kind solos in
+  let eval i placement =
+    let params =
+      Runner.cell_params params
+        (Printf.sprintf "sched/%s/%d" (combo_name combo) i)
+    in
     let specs =
       List.concat
         (List.mapi
@@ -113,7 +117,7 @@ let evaluate ?(params = Runner.default_params) ?(solo = []) combo =
       per_flow;
     }
   in
-  List.map eval (splits ~config combo)
+  Parallel.mapi eval (splits ~config combo)
 
 let best evals =
   match evals with

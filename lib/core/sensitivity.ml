@@ -67,7 +67,12 @@ let measure ?(params = Runner.default_params) ?(levels = default_syn_levels)
   in
   let solo = Runner.solo ~params target in
   let solo_pps = solo.Ppp_hw.Engine.throughput_pps in
-  let run_level level =
+  let run_level i level =
+    let params =
+      Runner.cell_params params
+        (Printf.sprintf "sens/%s/%s/%d" (Ppp_apps.App.name target)
+           (resource_name resource) i)
+    in
     let specs =
       placement ~config:params.Runner.config resource ~n_competitors
         ~competitor:(Ppp_apps.App.SYN level) ~target
@@ -85,7 +90,7 @@ let measure ?(params = Runner.default_params) ?(levels = default_syn_levels)
         }
     | [] -> assert false
   in
-  let points = List.map run_level levels in
+  let points = Parallel.mapi run_level levels in
   let origin =
     {
       competing_refs_per_sec = 0.0;

@@ -11,10 +11,24 @@ type pair_result = {
 }
 
 let solo_results ~params kinds =
-  List.map (fun k -> (k, Runner.solo ~params k)) kinds
+  (* One cell per kind; Runner.solo derives each cell's seed. *)
+  Parallel.map (fun k -> (k, Runner.solo ~params k)) kinds
 
-let pair_matrix ~params ~solos ?(n_competitors = 5) kinds =
-  let pair target competitor =
+let default_competitors config =
+  min 5 (Ppp_hw.Machine.cores_per_socket config - 1)
+
+let pair_matrix ~params ~solos ?n_competitors kinds =
+  let n_competitors =
+    match n_competitors with
+    | Some n -> n
+    | None -> default_competitors params.Runner.config
+  in
+  let pair (target, competitor) =
+    let params =
+      Runner.cell_params params
+        (Printf.sprintf "pair/%s/%s" (Ppp_apps.App.name target)
+           (Ppp_apps.App.name competitor))
+    in
     let specs =
       Sensitivity.placement ~config:params.Runner.config Sensitivity.Both
         ~n_competitors ~competitor ~target
@@ -35,7 +49,8 @@ let pair_matrix ~params ~solos ?(n_competitors = 5) kinds =
         }
     | [] -> assert false
   in
-  List.concat_map (fun t -> List.map (fun c -> pair t c) kinds) kinds
+  Parallel.map pair
+    (List.concat_map (fun t -> List.map (fun c -> (t, c)) kinds) kinds)
 
 let find_pair pairs ~target ~competitor =
   List.find

@@ -14,6 +14,10 @@ val solo_results :
   params:Ppp_core.Runner.params ->
   Ppp_apps.App.kind list ->
   (Ppp_apps.App.kind * Ppp_hw.Engine.result) list
+(** Solo baselines, one parallel cell per kind. *)
+
+val default_competitors : Ppp_hw.Machine.config -> int
+(** The paper's five co-runners, clamped to what one socket can hold. *)
 
 val pair_matrix :
   params:Ppp_core.Runner.params ->
@@ -21,9 +25,10 @@ val pair_matrix :
   ?n_competitors:int ->
   Ppp_apps.App.kind list ->
   pair_result list
-(** For every ordered pair (X, Y): X co-runs with [n_competitors] (default 5)
-    flows of type Y, all on one socket with local data — the Figure 2
-    scenarios. *)
+(** For every ordered pair (X, Y): X co-runs with [n_competitors] (default
+    {!default_competitors}) flows of type Y, all on one socket with local
+    data — the Figure 2 scenarios. Cells run under {!Ppp_core.Parallel.map},
+    each seeded from its (target, competitor) label. *)
 
 val find_pair :
   pair_result list -> target:Ppp_apps.App.kind -> competitor:Ppp_apps.App.kind ->

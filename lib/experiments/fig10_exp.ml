@@ -8,40 +8,53 @@ type combo_result = {
 
 type data = { combos : combo_result list; detail : combo_result }
 
-let default_combos =
-  Ppp_apps.App.
-    [
-      [ (MON, 6); (FW, 6) ];
-      [ (IP, 6); (FW, 6) ];
-      [ (MON, 6); (VPN, 6) ];
-      [ (IP, 6); (MON, 6) ];
-      [ (RE, 6); (FW, 6) ];
-      [ (MON, 4); (RE, 4); (FW, 4) ];
-      [ (MON, 12) ];
-      [ (syn_max, 6); (FW, 6) ];
-    ]
+(* Spread 2*cores_per_socket flows across the combo's kinds (the paper's
+   machine gives the familiar 6+6 and 4+4+4 splits; tiny gives 2+2). *)
+let combo_of ~cps kinds =
+  let total = 2 * cps in
+  let k = List.length kinds in
+  let base = total / k and rem = total mod k in
+  List.mapi (fun i kind -> (kind, base + if i < rem then 1 else 0)) kinds
 
-let measure ?(params = Runner.default_params) ?(combos = default_combos) () =
-  let solo_cache = ref [] in
+let default_combos ~config =
+  let cps = Ppp_hw.Machine.cores_per_socket config in
+  List.map
+    (combo_of ~cps)
+    Ppp_apps.App.
+      [
+        [ MON; FW ];
+        [ IP; FW ];
+        [ MON; VPN ];
+        [ IP; MON ];
+        [ RE; FW ];
+        [ MON; RE; FW ];
+        [ MON ];
+        [ syn_max; FW ];
+      ]
+
+let measure ?(params = Runner.default_params) ?combos () =
+  let config = params.Runner.config in
+  let combos =
+    match combos with Some c -> c | None -> default_combos ~config
+  in
+  (* Solo baselines for every kind up front, so the per-combo cells below
+     share no mutable cache. *)
+  let solos =
+    combos
+    |> List.concat_map (List.map fst)
+    |> List.sort_uniq compare
+    |> Parallel.map (fun k ->
+           (k, (Runner.solo ~params k).Ppp_hw.Engine.throughput_pps))
+  in
   let eval combo =
-    (* Collect solo baselines once across combos. *)
-    List.iter
-      (fun (k, _) ->
-        if not (List.mem_assoc k !solo_cache) then begin
-          let r = Runner.solo ~params k in
-          solo_cache := (k, r.Ppp_hw.Engine.throughput_pps) :: !solo_cache
-        end)
-      combo;
-    let evals = Scheduler.evaluate ~params ~solo:!solo_cache combo in
+    let evals = Scheduler.evaluate ~params ~solo:solos combo in
     { combo; best = Scheduler.best evals; worst = Scheduler.worst evals }
   in
-  let combos = List.map eval combos in
+  let combos = Parallel.map eval combos in
   let detail =
-    match
-      List.find_opt
-        (fun c -> c.combo = Ppp_apps.App.[ (MON, 6); (FW, 6) ])
-        combos
-    with
+    let cps = Ppp_hw.Machine.cores_per_socket config in
+    let mon_fw = combo_of ~cps Ppp_apps.App.[ MON; FW ] in
+    match List.find_opt (fun c -> c.combo = mon_fw) combos with
     | Some c -> c
     | None -> List.hd combos
   in

@@ -3,24 +3,30 @@ open Ppp_core
 type data = {
   pairs : Exp_common.pair_result list;
   averages : (Ppp_apps.App.kind * float) list;
+  n_competitors : int;
 }
 
 let measure ?(params = Runner.default_params) () =
   let kinds = Exp_common.realistic in
+  let n_competitors = Exp_common.default_competitors params.Runner.config in
   let solos = Exp_common.solo_results ~params kinds in
-  let pairs = Exp_common.pair_matrix ~params ~solos kinds in
-  { pairs; averages = Exp_common.avg_drop_per_target pairs }
+  let pairs = Exp_common.pair_matrix ~params ~solos ~n_competitors kinds in
+  { pairs; averages = Exp_common.avg_drop_per_target pairs; n_competitors }
 
 let render data =
   let kinds = Exp_common.realistic in
   let open Ppp_util in
+  let n = data.n_competitors in
   let t =
     Table.create
       ~title:
-        "Figure 2(a): performance drop (%) of target X against 5 co-runners \
-         of type Y"
+        (Printf.sprintf
+           "Figure 2(a): performance drop (%%) of target X against %d \
+            co-runner%s of type Y"
+           n
+           (if n = 1 then "" else "s"))
       ("target \\ co-runners"
-      :: List.map (fun k -> "5 " ^ Ppp_apps.App.name k) kinds)
+      :: List.map (fun k -> Printf.sprintf "%d %s" n (Ppp_apps.App.name k)) kinds)
   in
   List.iter
     (fun target ->

@@ -19,12 +19,23 @@ let default_levels =
 
 let measure ?(params = Runner.default_params) ?(levels = default_levels)
     ?(targets = Exp_common.realistic) () =
-  List.map
-    (fun resource ->
-      ( resource,
-        List.map (fun k -> Sensitivity.measure ~params ~levels ~resource k) targets
-      ))
+  (* One cell per (resource, target) curve; Sensitivity.measure derives
+     per-level seeds itself, so the fan-out stays order-independent. *)
+  let resources =
     [ Sensitivity.Cache_only; Sensitivity.Memctrl_only; Sensitivity.Both ]
+  in
+  let curves =
+    Parallel.map
+      (fun (resource, k) -> Sensitivity.measure ~params ~levels ~resource k)
+      (List.concat_map
+         (fun resource -> List.map (fun k -> (resource, k)) targets)
+         resources)
+  in
+  let per_target = List.length targets in
+  List.mapi
+    (fun i resource ->
+      (resource, List.filteri (fun j _ -> j / per_target = i) curves))
+    resources
 
 let render data =
   let buf = Buffer.create 4096 in

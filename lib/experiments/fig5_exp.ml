@@ -16,7 +16,7 @@ type data = {
 let measure ?(params = Runner.default_params) () =
   let kinds = Exp_common.realistic in
   let curves =
-    List.map
+    Parallel.map
       (fun k -> (k, Sensitivity.measure ~params ~resource:Sensitivity.Both k))
       kinds
   in

@@ -35,11 +35,15 @@ let measure ?(params = Runner.default_params) () =
   let chunks =
     Ppp_apps.App.working_set_bytes target ~scale:config.Ppp_hw.Machine.scale / 64
   in
+  let n_competitors = Exp_common.default_competitors config in
   let rows =
-    List.map
-      (fun level ->
+    Parallel.mapi
+      (fun i level ->
+        let params =
+          Runner.cell_params params (Printf.sprintf "fig7/%d" i)
+        in
         let specs =
-          Sensitivity.placement ~config Sensitivity.Cache_only ~n_competitors:5
+          Sensitivity.placement ~config Sensitivity.Cache_only ~n_competitors
             ~competitor:(Ppp_apps.App.SYN level) ~target
         in
         match Runner.run ~params specs with

@@ -10,7 +10,10 @@ type data = {
   attacker_throttled_refs : float;
 }
 
-let n_attackers = 5
+(* The paper's five attackers, clamped so the scenario also fits the tiny
+   machine (victim on core 0, attackers on the rest). *)
+let n_attackers ~config =
+  min 5 (Ppp_hw.Topology.cores config.Ppp_hw.Machine.topology - 1)
 
 let run_scenario ~params ~switch_after ~throttle_budget =
   let config = params.Runner.config in
@@ -24,7 +27,7 @@ let run_scenario ~params ~switch_after ~throttle_budget =
   in
   let freq_hz = config.Ppp_hw.Machine.costs.Ppp_hw.Costs.freq_hz in
   let attackers =
-    List.init n_attackers (fun i ->
+    List.init (n_attackers ~config) (fun i ->
         let elements =
           Throttle.Two_faced.elements ~heap ~rng:(Ppp_util.Rng.split rng)
             ~buffer_bytes:(12 * 1024 * 1024 / scale)

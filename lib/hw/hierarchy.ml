@@ -283,4 +283,11 @@ let private_resident t ~core ~addr =
   let line = Cache.line_of_addr l1 addr in
   Cache.resident l1 line || Cache.resident t.l2s.(core) line
 
+let directory_marks t ~core ~addr =
+  let socket = Topology.socket_of_core t.topo core in
+  let l3 = t.l3s.(socket) in
+  match Cache.probe l3 (Cache.line_of_addr l3 addr) with
+  | Some slot -> Cache.aux l3 slot land (1 lsl Topology.local_index t.topo core) <> 0
+  | None -> false
+
 let memctrl_transactions t ~node = Memctrl.transactions t.memctrls.(node)

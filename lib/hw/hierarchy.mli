@@ -37,4 +37,11 @@ val l3_occupancy : t -> socket:int -> int
 
 val l3_resident : t -> socket:int -> addr:int -> bool
 val private_resident : t -> core:int -> addr:int -> bool
+
+val directory_marks : t -> core:int -> addr:int -> bool
+(** True when the core's socket L3 holds [addr]'s line and its presence-bit
+    directory lists [core] as a (possible) holder. The directory is
+    conservative: a line resident in a private cache must be marked, the
+    converse need not hold. For inclusion-invariant tests. *)
+
 val memctrl_transactions : t -> node:int -> int

@@ -41,6 +41,23 @@ let split t =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+(* FNV-1a over the label folded into the seed through one extra splitmix64
+   round. Keeping this a pure function of (seed, label) — rather than
+   splitting a shared generator — is what lets experiment cells run in any
+   order (or in parallel) and still draw identical streams. *)
+let derive ~seed label =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    label;
+  let state = ref (Int64.add (Int64.of_int seed) !h) in
+  let z = splitmix64 state in
+  Int64.to_int (Int64.logand z Int64.max_int)
+
+let derive_cell ~seed ~experiment ~cell =
+  derive ~seed (Printf.sprintf "%s/%d" experiment cell)
+
 let nonneg t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 
 let int t n =

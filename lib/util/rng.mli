@@ -18,6 +18,17 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the state (the copy evolves independently). *)
 
+val derive : seed:int -> string -> int
+(** [derive ~seed label] deterministically maps a root seed and a stream
+    label to a fresh 62-bit seed. A pure function — unlike {!split} it
+    involves no shared state, so independent cells of a parallel experiment
+    can derive their streams in any order and obtain identical values.
+    Distinct labels (or distinct seeds) yield independent streams. *)
+
+val derive_cell : seed:int -> experiment:string -> cell:int -> int
+(** [derive_cell ~seed ~experiment ~cell] is [derive] on the canonical
+    label ["experiment/cell"]: the per-cell RNG stream of an experiment. *)
+
 val bits64 : t -> int64
 (** Next 64 uniformly random bits. *)
 

@@ -1,0 +1,97 @@
+(* The parallel experiment engine's contract: for every experiment, the
+   rendered output is a pure function of (experiment, seed) — independent of
+   the job count, because each cell derives its RNG stream from its label
+   rather than from shared generator state. Verified here for table1, fig2
+   and fig10 on the tiny machine with short windows. *)
+
+open Ppp_core
+open Ppp_experiments
+
+let params ~seed =
+  {
+    Runner.config = Ppp_hw.Machine.tiny;
+    seed;
+    warmup_cycles = 100_000;
+    measure_cycles = 300_000;
+  }
+
+let with_jobs n f =
+  let prev = Parallel.configured_jobs () in
+  Parallel.set_jobs n;
+  Fun.protect ~finally:(fun () -> Parallel.set_jobs prev) f
+
+let render id ~seed ~jobs =
+  match Registry.find id with
+  | None -> Alcotest.failf "experiment %s not registered" id
+  | Some e -> with_jobs jobs (fun () -> e.Registry.run ~params:(params ~seed) ())
+
+let check_experiment id () =
+  let sequential = render id ~seed:42 ~jobs:1 in
+  let again = render id ~seed:42 ~jobs:1 in
+  Alcotest.(check string)
+    (id ^ ": same seed, same output") sequential again;
+  let parallel = render id ~seed:42 ~jobs:4 in
+  Alcotest.(check string)
+    (id ^ ": --jobs 4 byte-identical to --jobs 1") sequential parallel;
+  let other_seed = render id ~seed:43 ~jobs:4 in
+  Alcotest.(check bool)
+    (id ^ ": different seed, different output") true
+    (not (String.equal sequential other_seed))
+
+let test_rng_derivation () =
+  (* The seed-derivation function itself: pure, label- and seed-sensitive. *)
+  let d = Ppp_util.Rng.derive in
+  Alcotest.(check int)
+    "derive is pure" (d ~seed:42 "pair/IP/MON") (d ~seed:42 "pair/IP/MON");
+  Alcotest.(check bool)
+    "distinct labels split" true
+    (d ~seed:42 "pair/IP/MON" <> d ~seed:42 "pair/IP/FW");
+  Alcotest.(check bool)
+    "distinct seeds split" true
+    (d ~seed:42 "pair/IP/MON" <> d ~seed:43 "pair/IP/MON");
+  Alcotest.(check int)
+    "cell helper is derive on experiment/cell"
+    (d ~seed:7 "fig2/3")
+    (Ppp_util.Rng.derive_cell ~seed:7 ~experiment:"fig2" ~cell:3);
+  Alcotest.(check bool)
+    "derived seeds are nonnegative" true
+    (d ~seed:(-5) "x" >= 0 && d ~seed:max_int "y" >= 0)
+
+let test_parallel_map_order () =
+  let xs = List.init 100 Fun.id in
+  let doubled = with_jobs 4 (fun () -> Parallel.map (fun x -> 2 * x) xs) in
+  Alcotest.(check (list int))
+    "results in input order" (List.map (fun x -> 2 * x) xs) doubled;
+  let indexed = with_jobs 3 (fun () -> Parallel.mapi (fun i x -> i - x) xs) in
+  Alcotest.(check bool)
+    "mapi passes matching indices" true (List.for_all (( = ) 0) indexed)
+
+let test_parallel_map_exception () =
+  let boom = Failure "cell 17" in
+  let attempt jobs =
+    match
+      with_jobs jobs (fun () ->
+          Parallel.map
+            (fun x -> if x >= 17 then raise (Failure (Printf.sprintf "cell %d" x)) else x)
+            (List.init 40 Fun.id))
+    with
+    | _ -> None
+    | exception e -> Some e
+  in
+  Alcotest.(check bool)
+    "sequential raises lowest-index failure" true (attempt 1 = Some boom);
+  Alcotest.(check bool)
+    "parallel raises the same failure" true (attempt 4 = Some boom)
+
+let tests =
+  [
+    Alcotest.test_case "rng seed derivation" `Quick test_rng_derivation;
+    Alcotest.test_case "parallel map order" `Quick test_parallel_map_order;
+    Alcotest.test_case "parallel map exception" `Quick test_parallel_map_exception;
+    Alcotest.test_case "table1 deterministic across jobs" `Slow
+      (check_experiment "table1");
+    Alcotest.test_case "fig2 deterministic across jobs" `Slow
+      (check_experiment "fig2");
+    Alcotest.test_case "fig10 deterministic across jobs" `Slow
+      (check_experiment "fig10");
+  ]

@@ -1,0 +1,27 @@
+(* Print one registered experiment's rendered output under the pinned golden
+   parameters: tiny machine, seed 42, quick windows, sequential execution.
+   The dune rules in this directory diff the output against the committed
+   <id>.expected snapshots; `dune promote` updates them. *)
+
+let golden_params =
+  {
+    Ppp_core.Runner.config = Ppp_hw.Machine.tiny;
+    seed = 42;
+    warmup_cycles = 300_000;
+    measure_cycles = 1_000_000;
+  }
+
+let () =
+  (* Snapshots are generated sequentially; the determinism suite separately
+     asserts that any job count reproduces them byte-for-byte. *)
+  Ppp_core.Parallel.set_jobs 1;
+  match Sys.argv with
+  | [| _; id |] -> (
+      match Ppp_experiments.Registry.find id with
+      | Some e -> print_string (e.Ppp_experiments.Registry.run ~params:golden_params ())
+      | None ->
+          Printf.eprintf "golden_gen: unknown experiment %S\n" id;
+          exit 1)
+  | _ ->
+      Printf.eprintf "usage: golden_gen <experiment-id>\n";
+      exit 1

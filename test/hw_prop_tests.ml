@@ -1,0 +1,140 @@
+(* qcheck properties for the hardware-model invariants the parallel-runner
+   refactor must not disturb: LRU eviction order, L3 inclusion (with the
+   presence-bit directory), and counter conservation, all under random
+   access streams. *)
+
+open Ppp_hw
+
+(* --- LRU eviction order against a reference model --- *)
+
+(* 2 sets x 4 ways; lines from a small universe force evictions. *)
+let lru_geo = { Cache.size_bytes = 2 * 4 * 64; ways = 4; line_bytes = 64 }
+
+(* The model: per set, resident lines most-recently-used first. *)
+let prop_lru_eviction =
+  QCheck.Test.make ~count:300 ~name:"cache evicts the set's LRU line"
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_range 0 31))
+    (fun lines ->
+      let c = Cache.create lru_geo in
+      let model = Array.make (Cache.sets c) [] in
+      List.for_all
+        (fun line ->
+          let set = line land (Cache.sets c - 1) in
+          if Cache.find c line <> None then begin
+            (* Hit: becomes most-recently-used. *)
+            model.(set) <- line :: List.filter (( <> ) line) model.(set);
+            true
+          end
+          else
+            let ok =
+              match Cache.insert c line with
+              | None -> List.length model.(set) < lru_geo.Cache.ways
+              | Some { Cache.victim_line; _ } ->
+                  List.length model.(set) = lru_geo.Cache.ways
+                  && victim_line = List.nth model.(set) (lru_geo.Cache.ways - 1)
+            in
+            let without_victim =
+              if List.length model.(set) = lru_geo.Cache.ways then
+                List.filteri (fun i _ -> i < lru_geo.Cache.ways - 1) model.(set)
+              else model.(set)
+            in
+            model.(set) <- line :: without_victim;
+            ok && Cache.resident c line)
+        lines)
+
+(* --- random access streams through a full hierarchy --- *)
+
+let tiny_hier () = Machine.build Machine.tiny
+
+let cores = Topology.cores Machine.tiny.Machine.topology
+
+(* (core, line-index, write) triples; line universe larger than the L3 to
+   force capacity evictions and back-invalidations. *)
+let stream_gen =
+  QCheck.(
+    list_of_size
+      Gen.(int_range 50 400)
+      (triple (int_range 0 (cores - 1)) (int_range 0 4095) bool))
+
+let run_stream hier ops =
+  List.iteri
+    (fun i (core, line, write) ->
+      ignore
+        (Hierarchy.access hier ~core ~write ~fn:Fn.none ~addr:(line * 64)
+           ~now:(i * 10)
+          : int))
+    ops
+
+let prop_l3_inclusive =
+  QCheck.Test.make ~count:100
+    ~name:"L1/L2-resident lines are L3-resident and directory-marked"
+    stream_gen
+    (fun ops ->
+      let hier = tiny_hier () in
+      run_stream hier ops;
+      let touched = List.sort_uniq compare (List.map (fun (_, l, _) -> l) ops) in
+      List.for_all
+        (fun line ->
+          let addr = line * 64 in
+          List.for_all
+            (fun core ->
+              (not (Hierarchy.private_resident hier ~core ~addr))
+              || (Hierarchy.l3_resident hier
+                    ~socket:
+                      (Topology.socket_of_core Machine.tiny.Machine.topology core)
+                    ~addr
+                 && Hierarchy.directory_marks hier ~core ~addr))
+            (List.init cores Fun.id))
+        touched)
+
+let prop_counter_conservation =
+  QCheck.Test.make ~count:100
+    ~name:"refs = hits + misses at every level, per core" stream_gen
+    (fun ops ->
+      let hier = tiny_hier () in
+      run_stream hier ops;
+      List.for_all
+        (fun core ->
+          let c = Hierarchy.counters hier core in
+          let refs = Counters.mem_refs c in
+          let reads_writes = Counters.reads c + Counters.writes c in
+          let by_level =
+            Counters.l1_hits c + Counters.l2_hits c + Counters.l3_hits c
+            + Counters.l3_misses c
+          in
+          let l3 = Counters.l3_refs c in
+          let by_fn =
+            List.fold_left
+              (fun acc fn -> acc + Counters.fn_refs c fn)
+              0
+              (List.init (Fn.count ()) Fun.id)
+          in
+          refs = reads_writes && refs = by_level
+          && l3 = Counters.l3_hits c + Counters.l3_misses c
+          && by_fn = refs)
+        (List.init cores Fun.id))
+
+let prop_dma_invalidates =
+  QCheck.Test.make ~count:100
+    ~name:"DMA write leaves the line resident nowhere" stream_gen
+    (fun ops ->
+      QCheck.assume (ops <> []);
+      let hier = tiny_hier () in
+      run_stream hier ops;
+      let _, line, _ = List.hd ops in
+      let addr = line * 64 in
+      Hierarchy.dma_write hier ~addr ~now:0;
+      List.for_all
+        (fun core -> not (Hierarchy.private_resident hier ~core ~addr))
+        (List.init cores Fun.id)
+      && List.for_all
+           (fun socket -> not (Hierarchy.l3_resident hier ~socket ~addr))
+           (List.init Machine.tiny.Machine.topology.Topology.sockets Fun.id))
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_lru_eviction;
+    QCheck_alcotest.to_alcotest prop_l3_inclusive;
+    QCheck_alcotest.to_alcotest prop_counter_conservation;
+    QCheck_alcotest.to_alcotest prop_dma_invalidates;
+  ]

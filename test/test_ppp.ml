@@ -3,12 +3,14 @@ let () =
     [
       ("util", Util_tests.tests);
       ("hw", Hw_tests.tests);
+      ("hw-properties", Hw_prop_tests.tests);
       ("simmem+net", Simmem_net_tests.tests);
       ("click", Click_tests.tests);
       ("apps", Apps_tests.tests);
       ("traffic", Traffic_tests.tests);
       ("core", Core_tests.tests);
       ("experiments", Experiments_tests.tests);
+      ("determinism", Determinism_tests.tests);
       ("extras", Extra_tests.tests);
       ("extensions", Ext_tests.tests);
     ]
