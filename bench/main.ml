@@ -7,7 +7,9 @@
 
    Pass --quick for quarter-length measurement windows, --tables-only to
    skip the (wall-clock, hence nondeterministic) microbenchmarks — with it,
-   stdout is byte-identical across --jobs values for a given seed. *)
+   stdout is byte-identical across --jobs values for a given seed.
+   --metrics-dir DIR additionally samples per-core counters during Part 1
+   and exports series.csv / spans.csv / manifest.json. *)
 
 open Bechamel
 open Toolkit
@@ -15,23 +17,29 @@ open Toolkit
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 let tables_only = Array.exists (fun a -> a = "--tables-only") Sys.argv
 
-(* --jobs N / --jobs=N: worker domains for experiment cells (0 = physical
-   cores). Tables are byte-identical for any value. *)
-let () =
-  let jobs = ref None in
+(* --flag N / --flag=N argument parsing, shared by --jobs and
+   --metrics-dir. *)
+let flag_value name =
+  let v = ref None in
   Array.iteri
     (fun i a ->
       match String.index_opt a '=' with
-      | Some eq when String.sub a 0 eq = "--jobs" ->
-          jobs :=
-            int_of_string_opt (String.sub a (eq + 1) (String.length a - eq - 1))
+      | Some eq when String.sub a 0 eq = name ->
+          v := Some (String.sub a (eq + 1) (String.length a - eq - 1))
       | _ ->
-          if a = "--jobs" && i + 1 < Array.length Sys.argv then
-            jobs := int_of_string_opt Sys.argv.(i + 1))
+          if a = name && i + 1 < Array.length Sys.argv then
+            v := Some Sys.argv.(i + 1))
     Sys.argv;
-  match !jobs with
+  !v
+
+(* --jobs N / --jobs=N: worker domains for experiment cells (0 = physical
+   cores). Tables are byte-identical for any value. *)
+let () =
+  match Option.bind (flag_value "--jobs") int_of_string_opt with
   | Some n when n >= 0 -> Ppp_core.Parallel.set_jobs n
   | _ -> ()
+
+let metrics_dir = flag_value "--metrics-dir"
 
 let params =
   let p = Ppp_core.Runner.default_params in
@@ -49,17 +57,48 @@ let reproduce () =
   print_endline "==========================================================";
   print_endline " Part 1: regenerating every table and figure of the paper";
   print_endline "==========================================================";
+  (match metrics_dir with
+  | Some _ ->
+      Ppp_telemetry.Recorder.configure
+        ~sample_cycles:
+          (max 1 (params.Ppp_core.Runner.measure_cycles / 20))
+        ~spans:true ()
+  | None -> ());
   List.iter
     (fun e ->
       Printf.printf "\n=== %s (%s): %s ===\n%!" e.Ppp_experiments.Registry.id
         e.Ppp_experiments.Registry.paper_ref e.Ppp_experiments.Registry.title;
+      Ppp_telemetry.Recorder.set_experiment e.Ppp_experiments.Registry.id;
       let t0 = Unix.gettimeofday () in
       print_string (e.Ppp_experiments.Registry.run ~params ());
-      (* Wall-clock goes to stderr so stdout is byte-identical across job
-         counts, seeds being equal. *)
-      Printf.eprintf "[%s: %.1fs]\n%!" e.Ppp_experiments.Registry.id
-        (Unix.gettimeofday () -. t0))
-    Ppp_experiments.Registry.all
+      let wall_s = Unix.gettimeofday () -. t0 in
+      Ppp_telemetry.Recorder.set_experiment "";
+      Ppp_telemetry.Recorder.record_experiment
+        ~id:e.Ppp_experiments.Registry.id
+        ~title:e.Ppp_experiments.Registry.title
+        ~paper_ref:e.Ppp_experiments.Registry.paper_ref ~wall_s;
+      (* Wall-clock goes to stderr (and the manifest) so stdout is
+         byte-identical across job counts, seeds being equal. *)
+      Printf.eprintf "[%s: %.1fs]\n%!" e.Ppp_experiments.Registry.id wall_s)
+    Ppp_experiments.Registry.all;
+  match metrics_dir with
+  | Some dir ->
+      Ppp_telemetry.Export.write_metrics_dir ~dir
+        ~run:
+          {
+            Ppp_telemetry.Manifest.tool = "bench";
+            machine =
+              params.Ppp_core.Runner.config.Ppp_hw.Machine.name;
+            seed = params.Ppp_core.Runner.seed;
+            warmup_cycles = params.Ppp_core.Runner.warmup_cycles;
+            measure_cycles = params.Ppp_core.Runner.measure_cycles;
+            jobs_configured = Ppp_core.Parallel.configured_jobs ();
+            jobs_effective = Ppp_core.Parallel.jobs ();
+            sample_cycles = Ppp_telemetry.Recorder.sampling ();
+          };
+      Printf.eprintf "wrote series.csv, spans.csv, manifest.json to %s/\n%!"
+        dir
+  | None -> ()
 
 (* --- Part 2: microbenchmarks of the paths each experiment exercises --- *)
 

@@ -49,24 +49,150 @@ let params_term =
               seed;
               warmup_cycles = warmup / div;
               measure_cycles = measure / div;
+              cell = "";
             }
         end
   in
   Term.(ret (const build $ config $ seed $ warmup $ measure $ quick $ jobs))
 
+(* --- telemetry flags (--trace / --metrics / --sample-cycles / --verbose) --- *)
+
+type telemetry_opts = {
+  trace : string option;
+  metrics : string option;
+  sample_cycles : int;  (* 0 = derive from the measurement window *)
+  verbose : bool;
+}
+
+let telemetry_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Export a Chrome trace-event JSON of the run (open in Perfetto \
+             or chrome://tracing): counter time series per core on the \
+             simulated clock, plus wall-clock runner spans.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"DIR"
+          ~doc:
+            "Export machine-readable metrics into $(docv): series.csv \
+             (simulated-time counter slices), spans.csv (wall-clock runner \
+             spans) and manifest.json (run provenance + per-experiment \
+             wall-clock).")
+  in
+  let sample_cycles =
+    Arg.(
+      value & opt int 0
+      & info [ "sample-cycles" ] ~docv:"K"
+          ~doc:
+            "Counter-sampling slice length in simulated cycles (0 = \
+             measure_cycles / 20). Only meaningful with $(b,--trace) or \
+             $(b,--metrics).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ]
+          ~doc:
+            "Echo per-experiment wall-clock timings to stderr (they are \
+             always recorded in the manifest when $(b,--metrics) is \
+             given).")
+  in
+  let build trace metrics sample_cycles verbose =
+    if sample_cycles < 0 then `Error (false, "--sample-cycles must be >= 0")
+    else `Ok { trace; metrics; sample_cycles; verbose }
+  in
+  Term.(ret (const build $ trace $ metrics $ sample_cycles $ verbose))
+
+let effective_sample_cycles params t =
+  if t.sample_cycles > 0 then t.sample_cycles
+  else max 1 (params.Ppp_core.Runner.measure_cycles / 20)
+
+let setup_telemetry params t =
+  if t.trace <> None || t.metrics <> None then
+    Ppp_telemetry.Recorder.configure
+      ~sample_cycles:(effective_sample_cycles params t)
+      ~spans:true ()
+
+let run_meta params =
+  let open Ppp_core.Runner in
+  [
+    ("tool", Ppp_telemetry.Json.Str "repro");
+    ("machine", Ppp_telemetry.Json.Str params.config.Ppp_hw.Machine.name);
+    ("seed", Ppp_telemetry.Json.Int params.seed);
+    ("warmup_cycles", Ppp_telemetry.Json.Int params.warmup_cycles);
+    ("measure_cycles", Ppp_telemetry.Json.Int params.measure_cycles);
+    ( "sample_cycles",
+      match Ppp_telemetry.Recorder.sampling () with
+      | Some k -> Ppp_telemetry.Json.Int k
+      | None -> Ppp_telemetry.Json.Null );
+  ]
+
+let finish_telemetry_exn params t =
+  (match t.trace with
+  | Some path ->
+      Ppp_telemetry.Export.write_trace ~path ~meta:(run_meta params);
+      Printf.eprintf "wrote Chrome trace to %s (open in ui.perfetto.dev)\n%!"
+        path
+  | None -> ());
+  match t.metrics with
+  | Some dir ->
+      let run =
+        {
+          Ppp_telemetry.Manifest.tool = "repro";
+          machine = params.Ppp_core.Runner.config.Ppp_hw.Machine.name;
+          seed = params.Ppp_core.Runner.seed;
+          warmup_cycles = params.Ppp_core.Runner.warmup_cycles;
+          measure_cycles = params.Ppp_core.Runner.measure_cycles;
+          jobs_configured = Ppp_core.Parallel.configured_jobs ();
+          jobs_effective = Ppp_core.Parallel.jobs ();
+          sample_cycles = Ppp_telemetry.Recorder.sampling ();
+        }
+      in
+      Ppp_telemetry.Export.write_metrics_dir ~dir ~run;
+      Printf.eprintf "wrote series.csv, spans.csv, manifest.json to %s/\n%!"
+        dir
+  | None -> ()
+
+let finish_telemetry params t =
+  (* A bad --trace/--metrics path should fail like any other CLI misuse,
+     not as an uncaught exception. *)
+  try finish_telemetry_exn params t
+  with Sys_error msg ->
+    Printf.eprintf "repro: cannot write telemetry output: %s\n%!" msg;
+    exit 1
+
 let list_cmd =
-  let run () =
-    List.iter
-      (fun e ->
-        Printf.printf "%-10s %-22s %s\n" e.Ppp_experiments.Registry.id
-          ("[" ^ e.Ppp_experiments.Registry.paper_ref ^ "]")
-          e.Ppp_experiments.Registry.title)
-      Ppp_experiments.Registry.all
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable output: a JSON array of {id, title, \
+             paper_ref} objects, for tooling/CI.")
+  in
+  let run json =
+    if json then
+      print_endline
+        (Ppp_telemetry.Json.to_string (Ppp_experiments.Registry.to_json ()))
+    else
+      List.iter
+        (fun e ->
+          Printf.printf "%-10s %-22s %s\n" e.Ppp_experiments.Registry.id
+            ("[" ^ e.Ppp_experiments.Registry.paper_ref ^ "]")
+            e.Ppp_experiments.Registry.title)
+        Ppp_experiments.Registry.all
   in
   Cmd.v (Cmd.info "list" ~doc:"List available experiments.")
-    Term.(const run $ const ())
+    Term.(const run $ json)
 
-let run_experiment params id =
+let run_experiment ~verbose params id =
   match Ppp_experiments.Registry.find id with
   | None ->
       Printf.eprintf "unknown experiment %S (try `repro list`)\n" id;
@@ -74,31 +200,46 @@ let run_experiment params id =
   | Some e ->
       Printf.printf "=== %s (%s): %s ===\n%!" e.Ppp_experiments.Registry.id
         e.Ppp_experiments.Registry.paper_ref e.Ppp_experiments.Registry.title;
+      Ppp_telemetry.Recorder.set_experiment e.Ppp_experiments.Registry.id;
       let t0 = Unix.gettimeofday () in
       let out = e.Ppp_experiments.Registry.run ~params () in
+      let wall_s = Unix.gettimeofday () -. t0 in
       Printf.printf "%s\n%!" out;
-      (* Wall-clock goes to stderr so stdout is byte-identical across job
-         counts, seeds being equal. *)
-      Printf.eprintf "[%s: %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
+      Ppp_telemetry.Recorder.set_experiment "";
+      (* Wall-clock lives in the manifest (structured, --metrics); the
+         stderr echo is opt-in so stdout/stderr stay quiet and stdout is
+         byte-identical across job counts, seeds being equal. *)
+      Ppp_telemetry.Recorder.record_experiment ~id
+        ~title:e.Ppp_experiments.Registry.title
+        ~paper_ref:e.Ppp_experiments.Registry.paper_ref ~wall_s;
+      if verbose then Printf.eprintf "[%s: %.1fs]\n%!" id wall_s
 
 let run_cmd =
   let ids =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT")
   in
-  let run params ids = List.iter (run_experiment params) ids in
+  let run params telemetry ids =
+    setup_telemetry params telemetry;
+    List.iter (run_experiment ~verbose:telemetry.verbose params) ids;
+    finish_telemetry params telemetry
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one or more experiments by id.")
-    Term.(const run $ params_term $ ids)
+    Term.(const run $ params_term $ telemetry_term $ ids)
 
 let all_cmd =
-  let run params =
+  let run params telemetry =
+    setup_telemetry params telemetry;
     List.iter
-      (fun e -> run_experiment params e.Ppp_experiments.Registry.id)
-      Ppp_experiments.Registry.all
+      (fun e ->
+        run_experiment ~verbose:telemetry.verbose params
+          e.Ppp_experiments.Registry.id)
+      Ppp_experiments.Registry.all;
+    finish_telemetry params telemetry
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment (the full reproduction).")
-    Term.(const run $ params_term)
+    Term.(const run $ params_term $ telemetry_term)
 
 let parse_kinds names =
   List.map
@@ -115,7 +256,8 @@ let mix_cmd =
   let kinds =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"FLOW")
   in
-  let run params names =
+  let run params telemetry names =
+    setup_telemetry params telemetry;
     let kinds = parse_kinds names in
     let specs =
       List.mapi
@@ -127,7 +269,11 @@ let mix_cmd =
         (fun k -> (k, Ppp_core.Runner.solo ~params k))
         (List.sort_uniq compare kinds)
     in
-    let results = Ppp_core.Runner.run ~params specs in
+    let results =
+      Ppp_core.Runner.run
+        ~params:(Ppp_core.Runner.with_cell params "mix")
+        specs
+    in
     let t =
       Ppp_util.Table.create
         ~title:"Co-run (one flow per core, data local, socket-filling order)"
@@ -157,12 +303,13 @@ let mix_cmd =
               (Ppp_util.Histogram.percentile r.Ppp_hw.Engine.latency 99.0);
           ])
       kinds results;
-    Ppp_util.Table.print t
+    Ppp_util.Table.print t;
+    finish_telemetry params telemetry
   in
   Cmd.v
     (Cmd.info "mix"
        ~doc:"Co-run an ad-hoc set of flows (one per core) and report drops.")
-    Term.(const run $ params_term $ kinds)
+    Term.(const run $ params_term $ telemetry_term $ kinds)
 
 let predict_cmd =
   let target = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in

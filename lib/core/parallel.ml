@@ -22,6 +22,28 @@ let jobs () =
 
 let sequential_mapi f xs = List.mapi f xs
 
+(* When span collection is on, each work item reports its queue wait (time
+   between fan-out and a worker picking it up) and run wall-clock. Purely
+   observational: failures skip the span, and the span never touches the
+   result. *)
+let with_item_span ~t_queue i f =
+  if not (Ppp_telemetry.Recorder.spans_enabled ()) then f ()
+  else begin
+    let t_start = Ppp_telemetry.Span.now_s () in
+    let r = f () in
+    Ppp_telemetry.Recorder.add_span
+      {
+        Ppp_telemetry.Span.name = Printf.sprintf "cell[%d]" i;
+        cat = "parallel";
+        domain = (Domain.self () :> int);
+        start_s = t_start;
+        dur_s = Ppp_telemetry.Span.now_s () -. t_start;
+        queue_s = t_start -. t_queue;
+        args = [ ("index", string_of_int i) ];
+      };
+    r
+  end
+
 (* Work-stealing by index from a shared counter. Only the main domain fans
    out: nested calls (a parallel experiment whose cells themselves call a
    parallel helper) degrade to sequential inside workers, bounding the pool
@@ -32,10 +54,11 @@ let pooled_mapi ~jobs f xs =
   let results = Array.make n None in
   let error = Atomic.make None in
   let next = Atomic.make 0 in
+  let t_queue = Ppp_telemetry.Span.now_s () in
   let rec worker () =
     let i = Atomic.fetch_and_add next 1 in
     if i < n then begin
-      (match f i input.(i) with
+      (match with_item_span ~t_queue i (fun () -> f i input.(i)) with
       | r -> results.(i) <- Some r
       | exception e ->
           (* Keep the lowest-index failure: it is the one a sequential run

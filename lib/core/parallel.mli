@@ -28,7 +28,11 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     index is re-raised after the pool drains. *)
 
 val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
-(** [map] with the element's index, e.g. for per-cell seed derivation. *)
+(** [map] with the element's index, e.g. for per-cell seed derivation.
+
+    When {!Ppp_telemetry.Recorder.spans_enabled}, every pooled work item
+    additionally records a wall-clock span (queue wait + run time, owning
+    domain) into the telemetry recorder. *)
 
 val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
 (** [map] for effects only. *)

@@ -15,6 +15,7 @@ type params = {
   seed : int;
   warmup_cycles : int;
   measure_cycles : int;
+  cell : string;
 }
 
 let default_params =
@@ -23,6 +24,7 @@ let default_params =
     seed = 42;
     warmup_cycles = 3_000_000;
     measure_cycles = 10_000_000;
+    cell = "";
   }
 
 let quick_params =
@@ -31,10 +33,12 @@ let quick_params =
     seed = 42;
     warmup_cycles = 300_000;
     measure_cycles = 1_000_000;
+    cell = "";
   }
 
 let run ?(params = default_params) specs =
   if specs = [] then invalid_arg "Runner.run: no flows";
+  let t_wall = Ppp_telemetry.Span.now_s () in
   let config = params.config in
   let topo = config.Ppp_hw.Machine.topology in
   let hier = Ppp_hw.Machine.build config in
@@ -63,15 +67,56 @@ let run ?(params = default_params) specs =
         })
       specs
   in
-  Ppp_hw.Engine.run hier ~flows ~warmup_cycles:params.warmup_cycles
-    ~measure_cycles:params.measure_cycles
+  (* Telemetry is a no-op unless the CLI configured the recorder. The
+     sampler observes the cell's counters in simulated time (deterministic);
+     the span observes the cell itself in wall-clock time. *)
+  let sampler =
+    match Ppp_telemetry.Recorder.sampling () with
+    | Some sample_cycles ->
+        Some (Ppp_telemetry.Sampler.create ~cell:params.cell ~sample_cycles)
+    | None -> None
+  in
+  let probe = Option.map Ppp_telemetry.Sampler.probe sampler in
+  let results =
+    Ppp_hw.Engine.run ?probe hier ~flows
+      ~warmup_cycles:params.warmup_cycles
+      ~measure_cycles:params.measure_cycles
+  in
+  (match sampler with
+  | Some s ->
+      Ppp_telemetry.Recorder.add_series
+        (Ppp_telemetry.Sampler.series s
+           ~experiment:(Ppp_telemetry.Recorder.current_experiment ())
+           ~freq_hz:config.Ppp_hw.Machine.costs.Ppp_hw.Costs.freq_hz)
+  | None -> ());
+  if Ppp_telemetry.Recorder.spans_enabled () then
+    Ppp_telemetry.Recorder.add_span
+      {
+        Ppp_telemetry.Span.name =
+          (if params.cell = "" then "runner.run" else params.cell);
+        cat = "runner";
+        domain = (Domain.self () :> int);
+        start_s = t_wall;
+        dur_s = Ppp_telemetry.Span.now_s () -. t_wall;
+        queue_s = 0.0;
+        args =
+          [
+            ("seed", string_of_int params.seed);
+            ("flows", string_of_int (List.length specs));
+            ("config", config.Ppp_hw.Machine.name);
+          ];
+      };
+  results
 
 let run ?params specs =
   (* Results come back in input order already (Engine preserves it). *)
   run ?params specs
 
 let cell_params params label =
-  { params with seed = Ppp_util.Rng.derive ~seed:params.seed label }
+  { params with seed = Ppp_util.Rng.derive ~seed:params.seed label;
+    cell = label }
+
+let with_cell params label = { params with cell = label }
 
 let solo ?(params = default_params) kind =
   (* A pure function of (params, kind): the seed is derived from the kind's

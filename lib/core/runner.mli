@@ -23,6 +23,10 @@ type params = {
   seed : int;
   warmup_cycles : int;
   measure_cycles : int;
+  cell : string;
+      (** Telemetry label of the experiment cell this run belongs to
+          (e.g. "pair/IP/MON"); "" for unlabeled ad-hoc runs. Only consumed
+          by the telemetry layer — it never influences the simulation. *)
 }
 
 val default_params : params
@@ -33,14 +37,23 @@ val quick_params : params
 
 val run : ?params:params -> spec list -> Ppp_hw.Engine.result list
 (** Builds a fresh machine, instantiates each spec as a flow, runs, and
-    returns results in spec order. *)
+    returns results in spec order. When the {!Ppp_telemetry.Recorder} is
+    configured, the run additionally feeds it: a per-core simulated-time
+    counter series (sampling) and a wall-clock span, both tagged with
+    [params.cell]. *)
 
 val cell_params : params -> string -> params
 (** [cell_params p label] is [p] with its seed replaced by
-    [Rng.derive ~seed:p.seed label]: the per-cell parameters of one
-    independent experiment cell. Deriving each cell's stream from a label
-    (instead of splitting a shared generator) keeps cells order-independent,
-    so {!Parallel.map} over cells is byte-identical to a sequential loop. *)
+    [Rng.derive ~seed:p.seed label] and its telemetry [cell] set to
+    [label]: the per-cell parameters of one independent experiment cell.
+    Deriving each cell's stream from a label (instead of splitting a shared
+    generator) keeps cells order-independent, so {!Parallel.map} over cells
+    is byte-identical to a sequential loop. *)
+
+val with_cell : params -> string -> params
+(** Sets only the telemetry [cell] label, leaving the seed untouched — for
+    cells that predate telemetry and must keep their historical streams
+    (changing their seed would invalidate every golden snapshot). *)
 
 val solo : ?params:params -> Ppp_apps.App.kind -> Ppp_hw.Engine.result
 (** The kind alone on core 0, data local. Seeded from

@@ -33,13 +33,17 @@ type data = {
   mlp_sweep : mlp_point list;
 }
 
-let worst_case_run ~params kind =
+let worst_case_run ?(label = "worst") ~params kind =
   let solo = Runner.solo ~params kind in
   let specs =
     Sensitivity.placement ~config:params.Runner.config Sensitivity.Both
       ~n_competitors:
         (min 5 (Ppp_hw.Machine.cores_per_socket params.Runner.config - 1))
       ~competitor:Ppp_apps.App.syn_max ~target:kind
+  in
+  let params =
+    Runner.with_cell params
+      (Printf.sprintf "ablation/%s/%s" label (Ppp_apps.App.name kind))
   in
   match Runner.run ~params specs with
   | t :: competitors ->
@@ -52,8 +56,8 @@ let worst_case_run ~params kind =
       (solo, Runner.drop ~solo ~corun:t, competing)
   | [] -> assert false
 
-let worst_case_drop ~params kind =
-  let solo, drop, _ = worst_case_run ~params kind in
+let worst_case_drop ?label ~params kind =
+  let solo, drop, _ = worst_case_run ?label ~params kind in
   (solo, drop)
 
 let measure_bounds ~params =
@@ -78,7 +82,11 @@ let measure_delta_sweep ~params =
       let costs = { config.Ppp_hw.Machine.costs with Ppp_hw.Costs.dram_lat } in
       let config = { config with Ppp_hw.Machine.costs = costs } in
       let params = { params with Runner.config = config } in
-      let _, drop = worst_case_drop ~params Ppp_apps.App.MON in
+      let _, drop =
+        worst_case_drop
+          ~label:(Printf.sprintf "delta-%d" dram_lat)
+          ~params Ppp_apps.App.MON
+      in
       {
         dram_lat_cycles = dram_lat;
         delta_ns = Ppp_hw.Costs.delta_seconds costs *. 1e9;
@@ -91,6 +99,10 @@ let measure_numa ~params =
     (fun kind ->
       let local = Runner.solo ~params kind in
       let remote =
+        let params =
+          Runner.with_cell params
+            ("ablation/numa/" ^ Ppp_apps.App.name kind)
+        in
         match
           Runner.run ~params [ { Runner.kind; core = 0; data_node = 1 } ]
         with
@@ -109,7 +121,11 @@ let measure_mlp ~params =
       let costs = { config.Ppp_hw.Machine.costs with Ppp_hw.Costs.mlp } in
       let config = { config with Ppp_hw.Machine.costs = costs } in
       let params = { params with Runner.config = config } in
-      let _, drop, competing = worst_case_run ~params Ppp_apps.App.MON in
+      let _, drop, competing =
+        worst_case_run
+          ~label:(Printf.sprintf "mlp-%d" mlp)
+          ~params Ppp_apps.App.MON
+      in
       { mlp; competing_refs_per_sec = competing; mon_drop_mlp = drop })
     [ 1; 2; 4 ]
 

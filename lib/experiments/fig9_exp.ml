@@ -24,7 +24,9 @@ let measure ?(params = Runner.default_params) () =
   let specs =
     List.mapi (fun i kind -> { Runner.kind; core = i; data_node = 0 }) mix
   in
-  let results = Runner.run ~params specs in
+  (* Label only — the mix cell's seed predates telemetry and must not
+     change (golden snapshots). *)
+  let results = Runner.run ~params:(Runner.with_cell params "fig9/mix") specs in
   let solos = Exp_common.solo_results ~params kinds in
   let flows =
     List.map2

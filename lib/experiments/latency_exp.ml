@@ -32,6 +32,9 @@ let measure ?(params = Runner.default_params) () =
           (min 5 (Ppp_hw.Machine.cores_per_socket params.Runner.config - 1))
         ~competitor ~target
     in
+    let params =
+      Runner.with_cell params ("latency/vs-" ^ Ppp_apps.App.name competitor)
+    in
     match Runner.run ~params specs with
     | t :: _ -> row_of label t
     | [] -> assert false

@@ -11,3 +11,7 @@ type t = {
 val all : t list
 val find : string -> t option
 val ids : unit -> string list
+
+val to_json : unit -> Ppp_telemetry.Json.t
+(** Machine-readable registry (id, title, paper figure) for tooling/CI:
+    what [repro list --json] prints. *)

@@ -92,6 +92,13 @@ let fn_l3_hits t fn = t.fn_l3_hits.(fn)
 let fn_l3_misses t fn = t.fn_l3_misses.(fn)
 let fn_refs t fn = t.fn_refs.(fn)
 
+let equal a b =
+  a.instructions = b.instructions && a.l1_hits = b.l1_hits
+  && a.l2_hits = b.l2_hits && a.l3_hits = b.l3_hits
+  && a.l3_misses = b.l3_misses && a.reads = b.reads && a.writes = b.writes
+  && a.packets = b.packets && a.fn_refs = b.fn_refs
+  && a.fn_l3_hits = b.fn_l3_hits && a.fn_l3_misses = b.fn_l3_misses
+
 let pp fmt t =
   Format.fprintf fmt
     "instr=%d l1=%d l2=%d l3h=%d l3m=%d pkts=%d"

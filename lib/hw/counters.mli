@@ -13,6 +13,10 @@ val copy : t -> t
 val diff : t -> t -> t
 (** [diff later earlier] is the counter delta over a window. *)
 
+val equal : t -> t -> bool
+(** Structural equality over every counter, including the per-function
+    breakdowns (used by the telemetry conservation tests). *)
+
 (* Recording (used by the hierarchy and engine). *)
 val add_instructions : t -> int -> unit
 val add_l1_hit : t -> Fn.t -> unit

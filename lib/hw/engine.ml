@@ -2,6 +2,18 @@ type item = Packet of Trace.t | Idle of Trace.t
 type source = int -> item
 type flow = { core : int; label : string; source : source }
 
+type sample = {
+  s_core : int;
+  s_flow : string;
+  s_start : int;
+  s_end : int;
+  s_packets : int;
+  s_delta : Counters.t;
+  s_latency : Ppp_util.Histogram.t;
+}
+
+type probe = { sample_cycles : int; on_sample : sample -> unit }
+
 type result = {
   core : int;
   label : string;
@@ -30,6 +42,13 @@ type core_state = {
   mutable end_time : int;
   mutable end_packets : int;
   mutable end_counters : Counters.t option;
+  (* Time-sliced sampling (active only under a probe, between the warm and
+     end snapshots). *)
+  mutable samp_time : int;
+  mutable samp_packets : int;
+  mutable samp_counters : Counters.t option;
+  mutable samp_next : int;
+  mutable samp_latency : Ppp_util.Histogram.t;
 }
 
 let fetch st =
@@ -44,8 +63,12 @@ let fetch st =
   if is_packet then st.pkt_start <- st.time;
   st.pos <- 0
 
-let run hier ~flows ~warmup_cycles ~measure_cycles =
+let run ?probe hier ~flows ~warmup_cycles ~measure_cycles =
   if flows = [] then invalid_arg "Engine.run: no flows";
+  (match probe with
+  | Some p when p.sample_cycles < 1 ->
+      invalid_arg "Engine.run: sample_cycles must be >= 1"
+  | _ -> ());
   let seen = Hashtbl.create 16 in
   List.iter
     (fun (f : flow) ->
@@ -73,6 +96,11 @@ let run hier ~flows ~warmup_cycles ~measure_cycles =
             end_time = 0;
             end_packets = 0;
             end_counters = None;
+            samp_time = 0;
+            samp_packets = 0;
+            samp_counters = None;
+            samp_next = max_int;
+            samp_latency = Ppp_util.Histogram.create ();
           }
         in
         fetch st;
@@ -82,18 +110,67 @@ let run hier ~flows ~warmup_cycles ~measure_cycles =
   in
   let n = Array.length states in
   let window_end = warmup_cycles + measure_cycles in
+  (* Sample boundaries live on the fixed grid warmup + i*K of simulated
+     time. Slices telescope — each one's delta is taken between consecutive
+     counter snapshots — so per-core slice deltas sum exactly to the
+     window's [Counters.diff] no matter where ops land on the grid. *)
+  let grid_next time =
+    match probe with
+    | None -> max_int
+    | Some p ->
+        let k = p.sample_cycles in
+        warmup_cycles + ((((time - warmup_cycles) / k) + 1) * k)
+  in
+  let emit st ~t_end counters_now =
+    match (probe, st.samp_counters) with
+    | Some p, Some prev when t_end > st.samp_time ->
+        p.on_sample
+          {
+            s_core = st.flow.core;
+            s_flow = st.flow.label;
+            s_start = st.samp_time;
+            s_end = t_end;
+            s_packets = st.packets_done - st.samp_packets;
+            s_delta = Counters.diff counters_now prev;
+            s_latency = st.samp_latency;
+          };
+        st.samp_time <- t_end;
+        st.samp_packets <- st.packets_done;
+        st.samp_counters <- Some counters_now;
+        st.samp_latency <- Ppp_util.Histogram.create ()
+    | _ -> ()
+  in
   let snapshot st =
     if st.warm_counters = None && st.time >= warmup_cycles then begin
       st.warm_time <- st.time;
       st.warm_packets <- st.packets_done;
-      st.warm_counters <-
-        Some (Counters.copy (Hierarchy.counters hier st.flow.core))
+      let c = Counters.copy (Hierarchy.counters hier st.flow.core) in
+      st.warm_counters <- Some c;
+      match probe with
+      | Some _ ->
+          st.samp_time <- st.warm_time;
+          st.samp_packets <- st.warm_packets;
+          st.samp_counters <- Some c;
+          st.samp_next <- grid_next st.warm_time
+      | None -> ()
     end;
     if st.end_counters = None && st.time >= window_end then begin
       st.end_time <- st.time;
       st.end_packets <- st.packets_done;
-      st.end_counters <-
-        Some (Counters.copy (Hierarchy.counters hier st.flow.core))
+      let c = Counters.copy (Hierarchy.counters hier st.flow.core) in
+      st.end_counters <- Some c;
+      (* Close the trailing partial slice at the window end and stop. *)
+      emit st ~t_end:st.end_time c;
+      st.samp_counters <- None
+    end
+    else if
+      st.end_counters = None
+      && (match st.samp_counters with Some _ -> true | None -> false)
+      && st.time >= st.samp_next
+    then begin
+      emit st ~t_end:st.time
+        (Counters.copy (Hierarchy.counters hier st.flow.core));
+      st.samp_next <- grid_next st.time
     end
   in
   let step st =
@@ -122,8 +199,16 @@ let run hier ~flows ~warmup_cycles ~measure_cycles =
         st.packets_done <- st.packets_done + 1;
         Counters.add_packet (Hierarchy.counters hier st.flow.core);
         (* Latency tracked for packets completing inside the window. *)
-        if st.warm_counters <> None && st.end_counters = None then
-          Ppp_util.Histogram.record st.latency (st.time - st.pkt_start)
+        if st.warm_counters <> None && st.end_counters = None then begin
+          Ppp_util.Histogram.record st.latency (st.time - st.pkt_start);
+          match st.samp_counters with
+          | Some _ ->
+              (* The packet belongs to the slice that closes at or after
+                 this completion time. *)
+              Ppp_util.Histogram.record st.samp_latency
+                (st.time - st.pkt_start)
+          | None -> ()
+        end
       end;
       snapshot st;
       fetch st

@@ -24,6 +24,35 @@ type source = int -> item
 
 type flow = { core : int; label : string; source : source }
 
+type sample = {
+  s_core : int;  (** core the slice was measured on *)
+  s_flow : string;  (** the flow's label *)
+  s_start : int;  (** slice start (simulated cycles, absolute) *)
+  s_end : int;  (** slice end; slices of one core are contiguous *)
+  s_packets : int;  (** packets completed inside the slice *)
+  s_delta : Counters.t;  (** counter delta over the slice *)
+  s_latency : Ppp_util.Histogram.t;
+      (** latency of the packets completing inside the slice *)
+}
+(** One time slice of a core's measurement window. Successive slices of a
+    core telescope: each delta is taken between consecutive snapshots of
+    the same counters, so summing every slice of a core reproduces the
+    window's {!Counters.diff} (and window packet count) exactly. *)
+
+type probe = {
+  sample_cycles : int;
+      (** nominal slice length; boundaries sit on the grid
+          [warmup + i * sample_cycles] of simulated time. A slice closes at
+          the first operation completion at-or-past a boundary, so actual
+          ends jitter by at most one operation. Must be >= 1. *)
+  on_sample : sample -> unit;
+      (** called in deterministic simulated-time order: the engine is a
+          sequential interleaving simulation, so for a fixed run the calls
+          and their contents never depend on wall-clock or job count. *)
+}
+(** A time-sliced counter sampler — the simulator's analogue of running
+    Oprofile with a sampling period, feeding the telemetry layer. *)
+
 type result = {
   core : int;
   label : string;
@@ -39,7 +68,10 @@ type result = {
 }
 
 val run :
+  ?probe:probe ->
   Hierarchy.t -> flows:flow list -> warmup_cycles:int -> measure_cycles:int ->
   result list
 (** Runs the given flows (each on a distinct core; checked) and returns one
-    result per flow, in input order. *)
+    result per flow, in input order. When [probe] is given, every core's
+    measurement window is additionally delivered as contiguous time slices
+    through [probe.on_sample]; sampling does not perturb the simulation. *)

@@ -1,0 +1,121 @@
+let wall_pid = 0
+
+let cell_name (s : Timeseries.t) =
+  let cell = if s.Timeseries.cell = "" then "(unlabeled)" else s.Timeseries.cell in
+  if s.Timeseries.experiment = "" then cell
+  else s.Timeseries.experiment ^ "/" ^ cell
+
+(* Deterministic pid per (experiment, cell), in first-appearance order of
+   the (already sorted) series list. pid 0 is reserved for wall-clock. *)
+let assign_pids series =
+  let tbl = Hashtbl.create 16 in
+  let next = ref 1 in
+  List.iter
+    (fun s ->
+      let key = cell_name s in
+      if not (Hashtbl.mem tbl key) then begin
+        Hashtbl.add tbl key !next;
+        incr next
+      end)
+    series;
+  fun s -> Hashtbl.find tbl (cell_name s)
+
+let meta_event ~pid ?tid ~name ~value () =
+  let base =
+    [ ("name", Json.Str name); ("ph", Json.Str "M"); ("pid", Json.Int pid) ]
+  in
+  let base =
+    match tid with Some t -> base @ [ ("tid", Json.Int t) ] | None -> base
+  in
+  Json.Obj (base @ [ ("args", Json.Obj [ ("name", Json.Str value) ]) ])
+
+let counter ~pid ~tid ~ts ~name args =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "C");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("ts", Json.Int ts);
+      ("args", Json.Obj args);
+    ]
+
+let series_events pid_of (s : Timeseries.t) =
+  let pid = pid_of s in
+  let tid = s.Timeseries.core + 1 in
+  let pre =
+    [
+      meta_event ~pid ~name:"process_name" ~value:(cell_name s) ();
+      meta_event ~pid ~tid ~name:"thread_name"
+        ~value:
+          (Printf.sprintf "core %d — %s" s.Timeseries.core s.Timeseries.flow)
+        ();
+    ]
+  in
+  let c = Printf.sprintf "c%d %s" s.Timeseries.core in
+  let per_slice (sl : Timeseries.slice) =
+    [
+      counter ~pid ~tid ~ts:sl.Timeseries.t_end ~name:(c "L3/s")
+        [
+          ("hits", Json.Float (Timeseries.rate s sl sl.Timeseries.l3_hits));
+          ("misses", Json.Float (Timeseries.rate s sl sl.Timeseries.l3_misses));
+        ];
+      counter ~pid ~tid ~ts:sl.Timeseries.t_end ~name:(c "pps")
+        [ ("pps", Json.Float (Timeseries.pps s sl)) ];
+      counter ~pid ~tid ~ts:sl.Timeseries.t_end ~name:(c "latency (cycles)")
+        [
+          ("p50", Json.Int sl.Timeseries.lat_p50);
+          ("p99", Json.Int sl.Timeseries.lat_p99);
+        ];
+    ]
+  in
+  pre @ List.concat_map per_slice s.Timeseries.slices
+
+let span_events spans =
+  match spans with
+  | [] -> []
+  | first :: _ ->
+      (* Spans are sorted by start; rebase on the earliest so the wall-clock
+         track starts near ts 0 like the simulated tracks. *)
+      let t0 = (first : Span.t).Span.start_s in
+      let us x = Json.Float (1e6 *. x) in
+      meta_event ~pid:wall_pid ~name:"process_name"
+        ~value:"wall clock (runner, nondeterministic)" ()
+      :: List.map
+           (fun (sp : Span.t) ->
+             Json.Obj
+               [
+                 ("name", Json.Str sp.Span.name);
+                 ("cat", Json.Str sp.Span.cat);
+                 ("ph", Json.Str "X");
+                 ("pid", Json.Int wall_pid);
+                 ("tid", Json.Int sp.Span.domain);
+                 ("ts", us (sp.Span.start_s -. t0));
+                 ("dur", us sp.Span.dur_s);
+                 ( "args",
+                   Json.Obj
+                     (("queue_ms", Json.Float (1e3 *. sp.Span.queue_s))
+                     :: List.map
+                          (fun (k, v) -> (k, Json.Str v))
+                          sp.Span.args) );
+               ])
+           spans
+
+let trace ?(include_wall_clock = true) ~series ~spans ~meta () =
+  let pid_of = assign_pids series in
+  let events =
+    List.concat_map (series_events pid_of) series
+    @ (if include_wall_clock then span_events spans else [])
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr events);
+      ("displayTimeUnit", Json.Str "ms");
+      ( "otherData",
+        Json.Obj
+          (( "clock_note",
+             Json.Str
+               "simulated tracks: 1 displayed us = 1 simulated cycle; wall \
+                clock track (pid 0) uses real microseconds" )
+          :: meta) );
+    ]

@@ -1,0 +1,82 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let field s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let row cells = String.concat "," cells ^ "\n"
+let f x = Json.float_repr x
+
+let series_header =
+  [
+    "experiment"; "cell"; "core"; "flow"; "slice"; "t_start"; "t_end";
+    "cycles"; "packets"; "instructions"; "l1_hits"; "l2_hits"; "l3_hits";
+    "l3_misses"; "l3_refs"; "reads"; "writes"; "pps"; "l3_refs_per_s";
+    "l3_hits_per_s"; "l3_misses_per_s"; "lat_p50_cycles"; "lat_p99_cycles";
+  ]
+
+let series_csv series =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (row series_header);
+  List.iter
+    (fun (s : Timeseries.t) ->
+      List.iteri
+        (fun i (sl : Timeseries.slice) ->
+          Buffer.add_string b
+            (row
+               [
+                 field s.Timeseries.experiment;
+                 field s.Timeseries.cell;
+                 string_of_int s.Timeseries.core;
+                 field s.Timeseries.flow;
+                 string_of_int i;
+                 string_of_int sl.Timeseries.t_start;
+                 string_of_int sl.Timeseries.t_end;
+                 string_of_int (Timeseries.cycles sl);
+                 string_of_int sl.Timeseries.packets;
+                 string_of_int sl.Timeseries.instructions;
+                 string_of_int sl.Timeseries.l1_hits;
+                 string_of_int sl.Timeseries.l2_hits;
+                 string_of_int sl.Timeseries.l3_hits;
+                 string_of_int sl.Timeseries.l3_misses;
+                 string_of_int (Timeseries.l3_refs sl);
+                 string_of_int sl.Timeseries.reads;
+                 string_of_int sl.Timeseries.writes;
+                 f (Timeseries.pps s sl);
+                 f (Timeseries.rate s sl (Timeseries.l3_refs sl));
+                 f (Timeseries.rate s sl sl.Timeseries.l3_hits);
+                 f (Timeseries.rate s sl sl.Timeseries.l3_misses);
+                 string_of_int sl.Timeseries.lat_p50;
+                 string_of_int sl.Timeseries.lat_p99;
+               ]))
+        s.Timeseries.slices)
+    series;
+  Buffer.contents b
+
+let spans_csv spans =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (row
+       [
+         "name"; "cat"; "domain"; "start_unix_s"; "queue_ms"; "dur_ms";
+         "args";
+       ]);
+  List.iter
+    (fun (sp : Span.t) ->
+      Buffer.add_string b
+        (row
+           [
+             field sp.Span.name;
+             field sp.Span.cat;
+             string_of_int sp.Span.domain;
+             Printf.sprintf "%.6f" sp.Span.start_s;
+             Printf.sprintf "%.3f" (1e3 *. sp.Span.queue_s);
+             Printf.sprintf "%.3f" (1e3 *. sp.Span.dur_s);
+             field
+               (String.concat ";"
+                  (List.map (fun (k, v) -> k ^ "=" ^ v) sp.Span.args));
+           ]))
+    spans;
+  Buffer.contents b

@@ -1,0 +1,15 @@
+(** CSV exporters.
+
+    {!series_csv} serializes the simulated-time counter series and is fully
+    deterministic (byte-identical across job counts for a fixed seed and
+    machine) — it is covered by golden and determinism tests.
+    {!spans_csv} serializes wall-clock spans and is not. *)
+
+val series_csv : Timeseries.t list -> string
+(** One row per (cell, core, slice), header included. Rates are derived
+    per slice: [pps], [l3_refs_per_s], etc. Pass {!Recorder.series} output
+    (already sorted). *)
+
+val spans_csv : Span.t list -> string
+(** One row per span: name, category, domain, absolute start, queue wait
+    and duration (milliseconds), plus args as [k=v] pairs. *)

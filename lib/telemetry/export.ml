@@ -1,0 +1,28 @@
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let deterministic_trace ~meta =
+  Chrome.trace ~include_wall_clock:false ~series:(Recorder.series ())
+    ~spans:[] ~meta ()
+
+let write_trace ~path ~meta =
+  Json.write_file path
+    (Chrome.trace ~series:(Recorder.series ()) ~spans:(Recorder.spans ())
+       ~meta ())
+
+let write_string path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let write_metrics_dir ~dir ~run =
+  mkdir_p dir;
+  let series = Recorder.series () in
+  let spans = Recorder.spans () in
+  write_string (Filename.concat dir "series.csv") (Csv.series_csv series);
+  write_string (Filename.concat dir "spans.csv") (Csv.spans_csv spans);
+  Json.write_file
+    (Filename.concat dir "manifest.json")
+    (Manifest.json ~run ~experiments:(Recorder.experiments ()) ~series ~spans)

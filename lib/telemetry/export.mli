@@ -1,0 +1,16 @@
+(** File-writing glue over the {!Recorder}: what the CLIs call after a run.
+
+    Layout of a metrics directory:
+    - [series.csv] — simulated-time counter series (deterministic)
+    - [spans.csv] — wall-clock runner spans (nondeterministic)
+    - [manifest.json] — run provenance + per-experiment wall-clock *)
+
+val deterministic_trace : meta:(string * Json.t) list -> Json.t
+(** The Chrome trace restricted to its deterministic (simulated-time)
+    subset: no wall-clock spans. What the golden tests snapshot. *)
+
+val write_trace : path:string -> meta:(string * Json.t) list -> unit
+(** Full Chrome trace (simulated tracks + wall-clock spans) to [path]. *)
+
+val write_metrics_dir : dir:string -> run:Manifest.run -> unit
+(** Creates [dir] (and parents) if needed and writes the three files. *)

@@ -1,0 +1,83 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+and t_float = float
+
+let escape_into b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let to_string ?(minify = false) t =
+  let b = Buffer.create 4096 in
+  let nl level =
+    if not minify then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (2 * level) ' ')
+    end
+  in
+  let rec go level t =
+    match t with
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Int v -> Buffer.add_string b (string_of_int v)
+    | Float v -> Buffer.add_string b (float_repr v)
+    | Str s ->
+        Buffer.add_char b '"';
+        escape_into b s;
+        Buffer.add_char b '"'
+    | Arr [] -> Buffer.add_string b "[]"
+    | Arr items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char b ',';
+            nl (level + 1);
+            go (level + 1) item)
+          items;
+        nl level;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            nl (level + 1);
+            Buffer.add_char b '"';
+            escape_into b k;
+            Buffer.add_string b (if minify then "\":" else "\": ");
+            go (level + 1) v)
+          fields;
+        nl level;
+        Buffer.add_char b '}'
+  in
+  go 0 t;
+  Buffer.contents b
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t ^ "\n"))

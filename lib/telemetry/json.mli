@@ -1,0 +1,31 @@
+(** Minimal JSON document builder and deterministic serializer.
+
+    The repository deliberately carries no JSON dependency; exporters build
+    values of this type and serialize them with a fixed, deterministic
+    layout (object keys are emitted in construction order, floats with a
+    fixed ["%.6g"] format), so golden tests can diff the output
+    byte-for-byte. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+and t_float = float
+
+val float_repr : float -> string
+(** The serialized form of a float: integral values print without an
+    exponent ("42"), other finite values as ["%.6g"], and non-finite values
+    as ["null"] (JSON has no inf/nan). *)
+
+val to_string : ?minify:bool -> t -> string
+(** Serializes with a 2-space indent and one element per line (stable,
+    diff-friendly); [~minify:true] drops all whitespace. *)
+
+val write_file : string -> t -> unit
+(** [to_string] plus a trailing newline, written atomically-ish (single
+    [output_string]) to [path]. *)

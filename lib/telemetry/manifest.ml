@@ -1,0 +1,76 @@
+type run = {
+  tool : string;
+  machine : string;
+  seed : int;
+  warmup_cycles : int;
+  measure_cycles : int;
+  jobs_configured : int;
+  jobs_effective : int;
+  sample_cycles : int option;
+}
+
+let schema = "ppp-telemetry/1"
+
+let json ~run ~experiments ~series ~spans =
+  let n_slices =
+    List.fold_left
+      (fun acc (s : Timeseries.t) -> acc + List.length s.Timeseries.slices)
+      0 series
+  in
+  let cells =
+    List.sort_uniq compare
+      (List.map
+         (fun (s : Timeseries.t) ->
+           (s.Timeseries.experiment, s.Timeseries.cell))
+         series)
+  in
+  let wall_total =
+    List.fold_left
+      (fun acc (e : Recorder.experiment_entry) ->
+        acc +. e.Recorder.wall_s)
+      0.0 experiments
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ( "run",
+        Json.Obj
+          [
+            ("tool", Json.Str run.tool);
+            ("machine", Json.Str run.machine);
+            ("seed", Json.Int run.seed);
+            ("warmup_cycles", Json.Int run.warmup_cycles);
+            ("measure_cycles", Json.Int run.measure_cycles);
+            ("jobs_configured", Json.Int run.jobs_configured);
+            ("jobs_effective", Json.Int run.jobs_effective);
+            ( "sample_cycles",
+              match run.sample_cycles with
+              | Some k -> Json.Int k
+              | None -> Json.Null );
+          ] );
+      ( "experiments",
+        Json.Arr
+          (List.map
+             (fun (e : Recorder.experiment_entry) ->
+               Json.Obj
+                 [
+                   ("id", Json.Str e.Recorder.exp_id);
+                   ("title", Json.Str e.Recorder.exp_title);
+                   ("paper_ref", Json.Str e.Recorder.exp_paper_ref);
+                   ("wall_s", Json.Float e.Recorder.wall_s);
+                 ])
+             experiments) );
+      ( "series",
+        Json.Obj
+          [
+            ("cells", Json.Int (List.length cells));
+            ("series", Json.Int (List.length series));
+            ("slices", Json.Int n_slices);
+          ] );
+      ( "wall_clock",
+        Json.Obj
+          [
+            ("experiments_total_s", Json.Float wall_total);
+            ("spans", Json.Int (List.length spans));
+          ] );
+    ]

@@ -1,0 +1,25 @@
+(** The JSON run manifest: provenance for a batch of experiment runs.
+
+    Replaces the old loose stderr timing lines with structured data a CI
+    job or analysis notebook can consume. Keys starting with [wall_] (and
+    everything under ["wall_clock"]) are wall-clock measurements and hence
+    nondeterministic; everything else is a pure function of the CLI
+    invocation and the simulation. *)
+
+type run = {
+  tool : string;  (** "repro" or "bench" *)
+  machine : string;  (** config name: westmere | scaled | tiny *)
+  seed : int;
+  warmup_cycles : int;
+  measure_cycles : int;
+  jobs_configured : int;  (** the [--jobs] value; 0 = auto *)
+  jobs_effective : int;  (** the pool size actually used *)
+  sample_cycles : int option;  (** slice length when sampling was on *)
+}
+
+val json :
+  run:run ->
+  experiments:Recorder.experiment_entry list ->
+  series:Timeseries.t list ->
+  spans:Span.t list ->
+  Json.t

@@ -1,0 +1,75 @@
+type experiment_entry = {
+  exp_id : string;
+  exp_title : string;
+  exp_paper_ref : string;
+  wall_s : float;
+}
+
+(* Sampling config and the current experiment id are read from worker
+   domains on the hot-ish path, so they live in atomics; the accumulators
+   are mutated under one mutex. *)
+let sampling_setting = Atomic.make 0 (* 0 = off *)
+let spans_setting = Atomic.make false
+let experiment_tag = Atomic.make ""
+let lock = Mutex.create ()
+let acc_series : Timeseries.t list ref = ref []
+let acc_spans : Span.t list ref = ref []
+let acc_experiments : experiment_entry list ref = ref []
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let configure ?sample_cycles ?(spans = false) () =
+  (match sample_cycles with
+  | Some k when k < 1 ->
+      invalid_arg "Recorder.configure: sample_cycles must be >= 1"
+  | _ -> ());
+  Atomic.set sampling_setting (Option.value sample_cycles ~default:0);
+  Atomic.set spans_setting spans
+
+let clear_data () =
+  locked (fun () ->
+      acc_series := [];
+      acc_spans := [];
+      acc_experiments := [])
+
+let reset () =
+  Atomic.set sampling_setting 0;
+  Atomic.set spans_setting false;
+  Atomic.set experiment_tag "";
+  clear_data ()
+
+let sampling () =
+  match Atomic.get sampling_setting with 0 -> None | k -> Some k
+
+let spans_enabled () = Atomic.get spans_setting
+let set_experiment id = Atomic.set experiment_tag id
+let current_experiment () = Atomic.get experiment_tag
+
+let add_series ss =
+  let experiment = current_experiment () in
+  let ss =
+    List.map (fun s -> { s with Timeseries.experiment }) ss
+  in
+  locked (fun () -> acc_series := List.rev_append ss !acc_series)
+
+let add_span s = locked (fun () -> acc_spans := s :: !acc_spans)
+
+let record_experiment ~id ~title ~paper_ref ~wall_s =
+  locked (fun () ->
+      acc_experiments :=
+        { exp_id = id; exp_title = title; exp_paper_ref = paper_ref; wall_s }
+        :: !acc_experiments)
+
+let series () =
+  locked (fun () -> List.sort Timeseries.compare !acc_series)
+
+let spans () =
+  locked (fun () ->
+      List.sort
+        (fun (a : Span.t) b ->
+          compare (a.Span.start_s, a.Span.name) (b.Span.start_s, b.Span.name))
+        !acc_spans)
+
+let experiments () = locked (fun () -> List.rev !acc_experiments)

@@ -1,0 +1,64 @@
+(** The process-global telemetry collector.
+
+    Instrumentation points ({!Ppp_core.Runner}, [Ppp_core.Parallel], the
+    CLIs) are scattered across layers and worker domains, so collection
+    goes through one mutex-protected global sink. Telemetry is off by
+    default (every hook is a cheap no-op); the CLIs call {!configure} when
+    the user asks for [--trace]/[--metrics].
+
+    Reads return deterministically ordered data: series are sorted with
+    {!Timeseries.compare} regardless of the (parallel, hence racy)
+    insertion order; spans are wall-clock and sorted by start time. *)
+
+type experiment_entry = {
+  exp_id : string;
+  exp_title : string;
+  exp_paper_ref : string;
+  wall_s : float;  (** wall-clock duration — nondeterministic *)
+}
+
+val configure : ?sample_cycles:int -> ?spans:bool -> unit -> unit
+(** Turns collection on. [sample_cycles] enables counter sampling at that
+    slice length (in simulated cycles); [spans] enables wall-clock span
+    collection. Raises [Invalid_argument] on [sample_cycles < 1]. *)
+
+val reset : unit -> unit
+(** Back to the disabled state, dropping configuration and all data. *)
+
+val clear_data : unit -> unit
+(** Drops collected data but keeps the configuration (between repeated
+    runs in tests). *)
+
+val sampling : unit -> int option
+(** The configured slice length, when sampling is on. *)
+
+val spans_enabled : unit -> bool
+
+val set_experiment : string -> unit
+(** Labels subsequently collected series with this experiment id. Set from
+    the main domain between experiment runs; worker domains read it. *)
+
+val current_experiment : unit -> string
+
+val add_series : Timeseries.t list -> unit
+(** Thread-safe; tags each series with {!current_experiment}. *)
+
+val add_span : Span.t -> unit
+(** Thread-safe. *)
+
+val record_experiment :
+  id:string -> title:string -> paper_ref:string -> wall_s:float -> unit
+(** Appends a manifest entry for a completed experiment (always recorded,
+    even when telemetry is off — recording a float is free and the CLIs
+    decide later whether a manifest is written). *)
+
+val series : unit -> Timeseries.t list
+(** Sorted with {!Timeseries.compare} — deterministic for a fixed seed and
+    machine regardless of job count. *)
+
+val spans : unit -> Span.t list
+(** Sorted by (start, name); wall-clock, nondeterministic. *)
+
+val experiments : unit -> experiment_entry list
+(** In completion order (experiments run sequentially from the main
+    domain, so this order is the CLI invocation order). *)

@@ -1,0 +1,63 @@
+type per_core = { flow : string; mutable rev_slices : Timeseries.slice list }
+
+type t = {
+  cell : string;
+  sample_cycles : int;
+  cores : (int, per_core) Hashtbl.t;
+}
+
+let create ~cell ~sample_cycles =
+  if sample_cycles < 1 then
+    invalid_arg "Sampler.create: sample_cycles must be >= 1";
+  { cell; sample_cycles; cores = Hashtbl.create 8 }
+
+let slice_of_sample (s : Ppp_hw.Engine.sample) =
+  let c = s.Ppp_hw.Engine.s_delta in
+  {
+    Timeseries.t_start = s.Ppp_hw.Engine.s_start;
+    t_end = s.Ppp_hw.Engine.s_end;
+    packets = s.Ppp_hw.Engine.s_packets;
+    instructions = Ppp_hw.Counters.instructions c;
+    l1_hits = Ppp_hw.Counters.l1_hits c;
+    l2_hits = Ppp_hw.Counters.l2_hits c;
+    l3_hits = Ppp_hw.Counters.l3_hits c;
+    l3_misses = Ppp_hw.Counters.l3_misses c;
+    reads = Ppp_hw.Counters.reads c;
+    writes = Ppp_hw.Counters.writes c;
+    lat_p50 = Ppp_util.Histogram.percentile s.Ppp_hw.Engine.s_latency 50.0;
+    lat_p99 = Ppp_util.Histogram.percentile s.Ppp_hw.Engine.s_latency 99.0;
+  }
+
+let probe t =
+  {
+    Ppp_hw.Engine.sample_cycles = t.sample_cycles;
+    on_sample =
+      (fun s ->
+        let core = s.Ppp_hw.Engine.s_core in
+        let pc =
+          match Hashtbl.find_opt t.cores core with
+          | Some pc -> pc
+          | None ->
+              let pc =
+                { flow = s.Ppp_hw.Engine.s_flow; rev_slices = [] }
+              in
+              Hashtbl.add t.cores core pc;
+              pc
+        in
+        pc.rev_slices <- slice_of_sample s :: pc.rev_slices);
+  }
+
+let series t ~experiment ~freq_hz =
+  Hashtbl.fold
+    (fun core pc acc ->
+      {
+        Timeseries.experiment;
+        cell = t.cell;
+        core;
+        flow = pc.flow;
+        freq_hz;
+        slices = List.rev pc.rev_slices;
+      }
+      :: acc)
+    t.cores []
+  |> List.sort Timeseries.compare

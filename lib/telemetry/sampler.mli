@@ -1,0 +1,15 @@
+(** Adapter between {!Ppp_hw.Engine}'s sampling probe and {!Timeseries}.
+
+    One sampler instruments one [Engine.run] (one experiment cell). The
+    engine is a sequential simulation, so a sampler needs no locking; the
+    resulting series are deterministic in content and order. *)
+
+type t
+
+val create : cell:string -> sample_cycles:int -> t
+
+val probe : t -> Ppp_hw.Engine.probe
+(** The probe to pass to [Engine.run ?probe]. *)
+
+val series : t -> experiment:string -> freq_hz:float -> Timeseries.t list
+(** The collected series, one per sampled core, sorted by core. *)

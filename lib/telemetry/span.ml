@@ -1,0 +1,11 @@
+type t = {
+  name : string;
+  cat : string;
+  domain : int;
+  start_s : float;
+  dur_s : float;
+  queue_s : float;
+  args : (string * string) list;
+}
+
+let now_s () = Unix.gettimeofday ()

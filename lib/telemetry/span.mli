@@ -1,0 +1,24 @@
+(** Wall-clock spans of the experiment runner itself.
+
+    A span covers one unit of host-side work — an experiment cell inside
+    {!Ppp_core.Runner.run}, or one work item of a [Ppp_core.Parallel] pool —
+    with its wall-clock start, duration, queue wait and owning domain.
+
+    Everything in this type is wall-clock and therefore nondeterministic:
+    exporters keep spans strictly segregated from the simulated-time
+    {!Timeseries} data so that golden tests can cover the deterministic
+    subset of an export. *)
+
+type t = {
+  name : string;  (** cell label, or a synthesized name *)
+  cat : string;  (** "runner" | "parallel" *)
+  domain : int;  (** OCaml domain id that ran the work *)
+  start_s : float;  (** absolute wall-clock (Unix epoch seconds) *)
+  dur_s : float;
+  queue_s : float;  (** wait between submission and start; 0 if unqueued *)
+  args : (string * string) list;  (** extra context, e.g. seed, flow count *)
+}
+
+val now_s : unit -> float
+(** Wall clock (Unix epoch seconds). The single wall-clock source of the
+    telemetry layer. *)

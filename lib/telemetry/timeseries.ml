@@ -1,0 +1,67 @@
+type slice = {
+  t_start : int;
+  t_end : int;
+  packets : int;
+  instructions : int;
+  l1_hits : int;
+  l2_hits : int;
+  l3_hits : int;
+  l3_misses : int;
+  reads : int;
+  writes : int;
+  lat_p50 : int;
+  lat_p99 : int;
+}
+
+type t = {
+  experiment : string;
+  cell : string;
+  core : int;
+  flow : string;
+  freq_hz : float;
+  slices : slice list;
+}
+
+let l3_refs s = s.l3_hits + s.l3_misses
+let cycles s = s.t_end - s.t_start
+let seconds t s = float_of_int (cycles s) /. t.freq_hz
+let rate t s n = float_of_int n /. seconds t s
+let pps t s = rate t s s.packets
+
+let sum_slices t =
+  match t.slices with
+  | [] -> invalid_arg "Timeseries.sum_slices: empty series"
+  | first :: _ ->
+      List.fold_left
+        (fun acc s ->
+          {
+            acc with
+            t_end = s.t_end;
+            packets = acc.packets + s.packets;
+            instructions = acc.instructions + s.instructions;
+            l1_hits = acc.l1_hits + s.l1_hits;
+            l2_hits = acc.l2_hits + s.l2_hits;
+            l3_hits = acc.l3_hits + s.l3_hits;
+            l3_misses = acc.l3_misses + s.l3_misses;
+            reads = acc.reads + s.reads;
+            writes = acc.writes + s.writes;
+          })
+        {
+          t_start = first.t_start;
+          t_end = first.t_start;
+          packets = 0;
+          instructions = 0;
+          l1_hits = 0;
+          l2_hits = 0;
+          l3_hits = 0;
+          l3_misses = 0;
+          reads = 0;
+          writes = 0;
+          lat_p50 = 0;
+          lat_p99 = 0;
+        }
+        t.slices
+
+(* The record holds only ints, floats, strings and lists thereof, so the
+   polymorphic compare is a safe total order. *)
+let compare (a : t) (b : t) = Stdlib.compare a b

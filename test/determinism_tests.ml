@@ -13,6 +13,7 @@ let params ~seed =
     seed;
     warmup_cycles = 100_000;
     measure_cycles = 300_000;
+    cell = "";
   }
 
 let with_jobs n f =

@@ -9,13 +9,47 @@ let golden_params =
     seed = 42;
     warmup_cycles = 300_000;
     measure_cycles = 1_000_000;
+    cell = "";
   }
+
+(* Slice length for the telemetry snapshots: 4 slices over the 1 M-cycle
+   measurement window. *)
+let golden_sample_cycles = 250_000
+
+let run_with_telemetry id =
+  match Ppp_experiments.Registry.find id with
+  | Some e ->
+      Ppp_telemetry.Recorder.configure ~sample_cycles:golden_sample_cycles
+        ~spans:false ();
+      Ppp_telemetry.Recorder.set_experiment id;
+      (* The rendered tables are covered by the <id>.expected snapshots;
+         here only the collected telemetry is printed. *)
+      ignore (e.Ppp_experiments.Registry.run ~params:golden_params () : string)
+  | None ->
+      Printf.eprintf "golden_gen: unknown experiment %S\n" id;
+      exit 1
 
 let () =
   (* Snapshots are generated sequentially; the determinism suite separately
      asserts that any job count reproduces them byte-for-byte. *)
   Ppp_core.Parallel.set_jobs 1;
   match Sys.argv with
+  | [| _; "trace"; id |] ->
+      run_with_telemetry id;
+      let meta =
+        [
+          ("tool", Ppp_telemetry.Json.Str "golden_gen");
+          ("machine", Ppp_telemetry.Json.Str "tiny");
+          ("seed", Ppp_telemetry.Json.Int golden_params.Ppp_core.Runner.seed);
+        ]
+      in
+      print_string
+        (Ppp_telemetry.Json.to_string
+           (Ppp_telemetry.Export.deterministic_trace ~meta));
+      print_newline ()
+  | [| _; "metrics"; id |] ->
+      run_with_telemetry id;
+      print_string (Ppp_telemetry.Csv.series_csv (Ppp_telemetry.Recorder.series ()))
   | [| _; id |] -> (
       match Ppp_experiments.Registry.find id with
       | Some e -> print_string (e.Ppp_experiments.Registry.run ~params:golden_params ())
@@ -23,5 +57,5 @@ let () =
           Printf.eprintf "golden_gen: unknown experiment %S\n" id;
           exit 1)
   | _ ->
-      Printf.eprintf "usage: golden_gen <experiment-id>\n";
+      Printf.eprintf "usage: golden_gen [trace|metrics] <experiment-id>\n";
       exit 1

@@ -1,0 +1,289 @@
+(* Tests for the telemetry subsystem: the deterministic JSON serializer,
+   the conservation law of time-sliced sampling (per-slice counter deltas
+   telescope to the full-window diff), byte-identical exports across job
+   counts, and the machine-readable registry/manifest/trace shapes. *)
+
+open Ppp_telemetry
+
+(* Every test restores the recorder's disabled default, even on failure:
+   the recorder is process-global and other suites assume it is off. *)
+let with_recorder ~sample_cycles f =
+  Recorder.reset ();
+  Recorder.configure ~sample_cycles ~spans:false ();
+  Fun.protect ~finally:Recorder.reset f
+
+let quick =
+  {
+    Ppp_core.Runner.config = Ppp_hw.Machine.tiny;
+    seed = 42;
+    warmup_cycles = 100_000;
+    measure_cycles = 300_000;
+    cell = "";
+  }
+
+(* --- Json --- *)
+
+let test_json_repr () =
+  Alcotest.(check string) "integral float" "42" (Json.float_repr 42.0);
+  Alcotest.(check string) "fractional float" "0.15" (Json.float_repr 0.15);
+  Alcotest.(check string) "nan is null" "null" (Json.float_repr Float.nan);
+  Alcotest.(check string)
+    "infinity is null" "null"
+    (Json.float_repr Float.infinity);
+  Alcotest.(check string)
+    "minified object" {|{"a":1,"b":[true,null,"x"]}|}
+    (Json.to_string ~minify:true
+       (Json.Obj
+          [
+            ("a", Json.Int 1);
+            ("b", Json.Arr [ Json.Bool true; Json.Null; Json.Str "x" ]);
+          ]))
+
+let test_json_escaping () =
+  let s = Json.to_string ~minify:true (Json.Str "a\"b\\c\n\t\x01") in
+  Alcotest.(check string) "escaped" {|"a\"b\\c\n\t\u0001"|} s
+
+let test_json_pretty () =
+  let s =
+    Json.to_string (Json.Obj [ ("k", Json.Arr [ Json.Int 1; Json.Int 2 ]) ])
+  in
+  Alcotest.(check string) "2-space indent, stable layout"
+    "{\n  \"k\": [\n    1,\n    2\n  ]\n}" s
+
+(* --- conservation: slices telescope to the window totals --- *)
+
+let check_series_against (r : Ppp_hw.Engine.result) (s : Timeseries.t) =
+  let sum = Timeseries.sum_slices s in
+  let c = r.Ppp_hw.Engine.counters in
+  Alcotest.(check int) "packets conserved" r.Ppp_hw.Engine.packets
+    sum.Timeseries.packets;
+  Alcotest.(check int) "instructions conserved"
+    (Ppp_hw.Counters.instructions c)
+    sum.Timeseries.instructions;
+  Alcotest.(check int) "l1 hits conserved" (Ppp_hw.Counters.l1_hits c)
+    sum.Timeseries.l1_hits;
+  Alcotest.(check int) "l2 hits conserved" (Ppp_hw.Counters.l2_hits c)
+    sum.Timeseries.l2_hits;
+  Alcotest.(check int) "l3 hits conserved" (Ppp_hw.Counters.l3_hits c)
+    sum.Timeseries.l3_hits;
+  Alcotest.(check int) "l3 misses conserved" (Ppp_hw.Counters.l3_misses c)
+    sum.Timeseries.l3_misses;
+  Alcotest.(check int) "reads conserved" (Ppp_hw.Counters.reads c)
+    sum.Timeseries.reads;
+  Alcotest.(check int) "writes conserved" (Ppp_hw.Counters.writes c)
+    sum.Timeseries.writes;
+  Alcotest.(check int) "slices span the window" r.Ppp_hw.Engine.window_cycles
+    (sum.Timeseries.t_end - sum.Timeseries.t_start);
+  (* Contiguity: each slice starts where the previous one ended. *)
+  ignore
+    (List.fold_left
+       (fun prev (sl : Timeseries.slice) ->
+         (match prev with
+         | Some t -> Alcotest.(check int) "slices contiguous" t sl.t_start
+         | None -> ());
+         Some sl.Timeseries.t_end)
+       None s.Timeseries.slices)
+
+let prop_conservation =
+  QCheck.Test.make ~count:30
+    ~name:"per-slice deltas sum exactly to the window counters"
+    QCheck.(
+      triple (int_range 1 500) (int_range 0 3)
+        (int_range 17_000 400_000))
+    (fun (seed, kind_idx, sample_cycles) ->
+      let kind =
+        List.nth Ppp_apps.App.[ IP; MON; FW; RE ] kind_idx
+      in
+      let params = { quick with Ppp_core.Runner.seed; cell = "prop" } in
+      with_recorder ~sample_cycles (fun () ->
+          let rs =
+            Ppp_core.Runner.run ~params
+              [
+                Ppp_core.Runner.flow_on ~core:0 kind;
+                Ppp_core.Runner.flow_on ~core:1 Ppp_apps.App.syn_max;
+              ]
+          in
+          let series = Recorder.series () in
+          Alcotest.(check int) "one series per core" (List.length rs)
+            (List.length series);
+          List.iter
+            (fun (r : Ppp_hw.Engine.result) ->
+              match
+                List.find_opt
+                  (fun (s : Timeseries.t) ->
+                    s.Timeseries.core = r.Ppp_hw.Engine.core)
+                  series
+              with
+              | Some s -> check_series_against r s
+              | None -> Alcotest.fail "missing series for core")
+            rs;
+          true))
+
+let test_tiny_slice_length () =
+  (* sample_cycles = 1: one slice per operation completion — the extreme
+     case for boundary jitter; conservation must still hold exactly. *)
+  let params =
+    {
+      quick with
+      Ppp_core.Runner.warmup_cycles = 5_000;
+      measure_cycles = 10_000;
+      cell = "prop";
+    }
+  in
+  with_recorder ~sample_cycles:1 (fun () ->
+      let rs =
+        Ppp_core.Runner.run ~params
+          [ Ppp_core.Runner.flow_on ~core:0 Ppp_apps.App.MON ]
+      in
+      match (rs, Recorder.series ()) with
+      | [ r ], [ s ] -> check_series_against r s
+      | _ -> Alcotest.fail "expected one result and one series")
+
+(* --- determinism: exports byte-identical across job counts --- *)
+
+let with_jobs n f =
+  let prev = Ppp_core.Parallel.configured_jobs () in
+  Ppp_core.Parallel.set_jobs n;
+  Fun.protect ~finally:(fun () -> Ppp_core.Parallel.set_jobs prev) f
+
+let fig2_exports ~jobs =
+  with_jobs jobs (fun () ->
+      with_recorder ~sample_cycles:100_000 (fun () ->
+          Recorder.set_experiment "fig2";
+          let rendered = Ppp_experiments.Fig2_exp.run ~params:quick () in
+          let csv = Csv.series_csv (Recorder.series ()) in
+          let trace =
+            Json.to_string
+              (Export.deterministic_trace
+                 ~meta:[ ("tool", Json.Str "test") ])
+          in
+          (rendered, csv, trace)))
+
+let test_jobs_byte_equality () =
+  let r1, c1, t1 = fig2_exports ~jobs:1 in
+  let r4, c4, t4 = fig2_exports ~jobs:4 in
+  Alcotest.(check string) "rendered tables unchanged by telemetry" r1 r4;
+  Alcotest.(check string) "series CSV byte-identical --jobs 1 vs 4" c1 c4;
+  Alcotest.(check string) "deterministic trace byte-identical" t1 t4;
+  Alcotest.(check bool) "CSV is non-trivial" true
+    (String.length c1 > 100 && String.split_on_char '\n' c1 |> List.length > 2)
+
+(* --- registry --- *)
+
+let test_registry_json () =
+  match Ppp_experiments.Registry.to_json () with
+  | Json.Arr entries ->
+      let ids =
+        List.map
+          (function
+            | Json.Obj kvs -> (
+                match List.assoc_opt "id" kvs with
+                | Some (Json.Str id) -> id
+                | _ -> Alcotest.fail "entry without string id")
+            | _ -> Alcotest.fail "entry is not an object")
+          entries
+      in
+      Alcotest.(check (list string))
+        "every registered id, in order"
+        (Ppp_experiments.Registry.ids ())
+        ids
+  | _ -> Alcotest.fail "to_json is not an array"
+
+(* --- manifest + trace shape --- *)
+
+let manifest_run =
+  {
+    Manifest.tool = "test";
+    machine = "tiny";
+    seed = 42;
+    warmup_cycles = 100_000;
+    measure_cycles = 300_000;
+    jobs_configured = 1;
+    jobs_effective = 1;
+    sample_cycles = Some 100_000;
+  }
+
+let test_manifest_shape () =
+  with_recorder ~sample_cycles:100_000 (fun () ->
+      Recorder.record_experiment ~id:"fig2" ~title:"t" ~paper_ref:"Figure 2"
+        ~wall_s:1.5;
+      let j =
+        Manifest.json ~run:manifest_run
+          ~experiments:(Recorder.experiments ())
+          ~series:(Recorder.series ()) ~spans:(Recorder.spans ())
+      in
+      let s = Json.to_string ~minify:true j in
+      let contains needle =
+        let nl = String.length needle and sl = String.length s in
+        let rec go i =
+          i + nl <= sl && (String.sub s i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "manifest mentions %s" needle)
+            true (contains needle))
+        [ "ppp-telemetry/1"; "\"tool\":\"test\""; "\"fig2\""; "wall_clock" ])
+
+let test_trace_shape () =
+  with_recorder ~sample_cycles:100_000 (fun () ->
+      Recorder.set_experiment "fig2";
+      ignore
+        (Ppp_core.Runner.run
+           ~params:{ quick with Ppp_core.Runner.cell = "pair" }
+           [ Ppp_core.Runner.flow_on ~core:0 Ppp_apps.App.MON ]
+          : Ppp_hw.Engine.result list);
+      match Export.deterministic_trace ~meta:[] with
+      | Json.Obj kvs ->
+          (match List.assoc_opt "traceEvents" kvs with
+          | Some (Json.Arr evs) ->
+              Alcotest.(check bool) "has events" true (List.length evs > 0);
+              let phases =
+                List.filter_map
+                  (function
+                    | Json.Obj e -> (
+                        match List.assoc_opt "ph" e with
+                        | Some (Json.Str p) -> Some p
+                        | _ -> None)
+                    | _ -> None)
+                  evs
+              in
+              Alcotest.(check bool) "metadata events present" true
+                (List.mem "M" phases);
+              Alcotest.(check bool) "counter events present" true
+                (List.mem "C" phases);
+              Alcotest.(check bool)
+                "no wall-clock spans in the deterministic trace" false
+                (List.mem "X" phases)
+          | _ -> Alcotest.fail "traceEvents missing");
+          Alcotest.(check bool) "displayTimeUnit set" true
+            (List.mem_assoc "displayTimeUnit" kvs)
+      | _ -> Alcotest.fail "trace is not an object")
+
+let test_recorder_validation () =
+  Alcotest.check_raises "sample_cycles < 1 rejected"
+    (Invalid_argument "Recorder.configure: sample_cycles must be >= 1")
+    (fun () -> Recorder.configure ~sample_cycles:0 ());
+  Recorder.reset ();
+  Alcotest.(check (option int)) "off by default" None (Recorder.sampling ());
+  Alcotest.(check bool) "spans off by default" false (Recorder.spans_enabled ())
+
+let tests =
+  [
+    Alcotest.test_case "json float/int repr" `Quick test_json_repr;
+    Alcotest.test_case "json string escaping" `Quick test_json_escaping;
+    Alcotest.test_case "json pretty layout" `Quick test_json_pretty;
+    QCheck_alcotest.to_alcotest prop_conservation;
+    Alcotest.test_case "conservation at slice length 1" `Quick
+      test_tiny_slice_length;
+    Alcotest.test_case "exports byte-identical across --jobs" `Slow
+      test_jobs_byte_equality;
+    Alcotest.test_case "registry --json lists every experiment" `Quick
+      test_registry_json;
+    Alcotest.test_case "manifest shape" `Quick test_manifest_shape;
+    Alcotest.test_case "deterministic trace shape" `Quick test_trace_shape;
+    Alcotest.test_case "recorder validation and defaults" `Quick
+      test_recorder_validation;
+  ]

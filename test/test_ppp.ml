@@ -11,6 +11,7 @@ let () =
       ("core", Core_tests.tests);
       ("experiments", Experiments_tests.tests);
       ("determinism", Determinism_tests.tests);
+      ("telemetry", Telemetry_tests.tests);
       ("extras", Extra_tests.tests);
       ("extensions", Ext_tests.tests);
     ]
