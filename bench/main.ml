@@ -13,33 +13,66 @@
 
 open Bechamel
 open Toolkit
+module Cli = Ppp_util.Cli
 
-let quick = Array.exists (fun a -> a = "--quick") Sys.argv
-let tables_only = Array.exists (fun a -> a = "--tables-only") Sys.argv
+let cli =
+  Cli.create ~prog:"bench [options]"
+    ~summary:
+      "Regenerate the paper's tables/figures, run microbenchmarks, or (with \
+       --perf-gate) measure the engine hot path and write BENCH_engine.json."
 
-(* --flag N / --flag=N argument parsing, shared by --jobs and
-   --metrics-dir. *)
-let flag_value name =
-  let v = ref None in
-  Array.iteri
-    (fun i a ->
-      match String.index_opt a '=' with
-      | Some eq when String.sub a 0 eq = name ->
-          v := Some (String.sub a (eq + 1) (String.length a - eq - 1))
-      | _ ->
-          if a = name && i + 1 < Array.length Sys.argv then
-            v := Some Sys.argv.(i + 1))
-    Sys.argv;
-  !v
+let quick =
+  Cli.flag cli [ "--quick" ]
+    ~doc:"Quarter-length measurement windows (faster, noisier)."
 
-(* --jobs N / --jobs=N: worker domains for experiment cells (0 = physical
-   cores). Tables are byte-identical for any value. *)
+let tables_only =
+  Cli.flag cli [ "--tables-only" ]
+    ~doc:
+      "Skip the (wall-clock, hence nondeterministic) microbenchmarks; \
+       stdout is then byte-identical across --jobs values for a given seed."
+
+let jobs =
+  Cli.int cli [ "--jobs"; "-j" ] ~docv:"N"
+    ~doc:
+      "Worker domains for experiment cells (0 = physical cores). Tables \
+       are byte-identical for any value."
+    0
+
+let metrics_dir =
+  Cli.opt_string cli [ "--metrics-dir" ] ~docv:"DIR"
+    ~doc:
+      "Sample per-core counters during Part 1 and export series.csv / \
+       spans.csv / manifest.json into DIR."
+
+let perf_gate_flag =
+  Cli.flag cli [ "--perf-gate" ]
+    ~doc:
+      "Instead of the full harness, run the engine-only perf-gate \
+       workloads (solo/contended/probed + hit-path allocation audit) and \
+       write the JSON report."
+
+let perf_gate_out =
+  Cli.string cli [ "--perf-gate-out" ] ~docv:"FILE"
+    ~doc:"Where --perf-gate writes its report." "BENCH_engine.json"
+
+let perf_gate_runs =
+  Cli.int cli [ "--perf-gate-runs" ] ~docv:"N"
+    ~doc:
+      "Repetitions per perf-gate workload; the best (least-interrupted) \
+       wall time of the N is reported. 0 = the gate's default (3, or 1 \
+       with --quick)."
+    0
+
 let () =
-  match Option.bind (flag_value "--jobs") int_of_string_opt with
-  | Some n when n >= 0 -> Ppp_core.Parallel.set_jobs n
-  | _ -> ()
+  (match Cli.parse cli Sys.argv with
+  | [] -> ()
+  | a :: _ -> Cli.die cli (Printf.sprintf "unexpected argument %S" a));
+  if !jobs < 0 then Cli.die cli "--jobs must be >= 0";
+  Ppp_core.Parallel.set_jobs !jobs
 
-let metrics_dir = flag_value "--metrics-dir"
+let quick = !quick
+let tables_only = !tables_only
+let metrics_dir = !metrics_dir
 
 let params =
   let p = Ppp_core.Runner.default_params in
@@ -70,7 +103,8 @@ let reproduce () =
         e.Ppp_experiments.Registry.paper_ref e.Ppp_experiments.Registry.title;
       Ppp_telemetry.Recorder.set_experiment e.Ppp_experiments.Registry.id;
       let t0 = Unix.gettimeofday () in
-      print_string (e.Ppp_experiments.Registry.run ~params ());
+      print_string
+        (e.Ppp_experiments.Registry.run ~params ()).Ppp_experiments.Output.text;
       let wall_s = Unix.gettimeofday () -. t0 in
       Ppp_telemetry.Recorder.set_experiment "";
       Ppp_telemetry.Recorder.record_experiment
@@ -311,6 +345,33 @@ let microbenchmarks () =
     tests;
   Ppp_util.Table.print t
 
+(* --- Perf gate: engine-only workloads, written to BENCH_engine.json --- *)
+
+let perf_gate () =
+  let out = !perf_gate_out in
+  let report =
+    match !perf_gate_runs with
+    | n when n > 0 -> Ppp_core.Perf_gate.run ~quick ~runs:n ()
+    | _ -> Ppp_core.Perf_gate.run ~quick ()
+  in
+  Ppp_telemetry.Json.write_file out (Ppp_core.Perf_gate.to_json report);
+  List.iter
+    (fun (m : Ppp_core.Perf_gate.measurement) ->
+      Printf.printf "%-10s %d flows  %.3fs  %d ops  %.3e ops/s  %.2f B/op\n"
+        m.Ppp_core.Perf_gate.name m.Ppp_core.Perf_gate.flows
+        m.Ppp_core.Perf_gate.wall_s m.Ppp_core.Perf_gate.engine_ops
+        m.Ppp_core.Perf_gate.ops_per_sec
+        m.Ppp_core.Perf_gate.allocated_bytes_per_op)
+    report.Ppp_core.Perf_gate.workloads;
+  let h = report.Ppp_core.Perf_gate.hit in
+  Printf.printf "hit-path   %d accesses  %.0f bytes  %.4f B/access  zero_alloc=%b\n"
+    h.Ppp_core.Perf_gate.accesses h.Ppp_core.Perf_gate.allocated_bytes
+    h.Ppp_core.Perf_gate.bytes_per_access h.Ppp_core.Perf_gate.zero_alloc;
+  Printf.printf "wrote %s\n%!" out
+
 let () =
-  reproduce ();
-  if not tables_only then microbenchmarks ()
+  if !perf_gate_flag then perf_gate ()
+  else begin
+    reproduce ();
+    if not tables_only then microbenchmarks ()
+  end

@@ -1,61 +1,50 @@
 (* repro — regenerate the paper's tables and figures, or run ad-hoc mixes. *)
 
-open Cmdliner
+module Cli = Ppp_util.Cli
 
-let params_term =
+(* --- shared flags: simulation parameters --- *)
+
+let params_args cli =
   let config =
-    let doc = "Machine configuration (westmere | scaled | tiny)." in
-    Arg.(value & opt string "scaled" & info [ "config" ] ~docv:"NAME" ~doc)
+    Cli.string cli [ "--config" ] ~docv:"NAME"
+      ~doc:"Machine configuration (westmere | scaled | tiny)." "scaled"
   in
-  let seed =
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
-  in
+  let seed = Cli.int cli [ "--seed" ] ~docv:"N" ~doc:"Random seed." 42 in
   let warmup =
-    Arg.(
-      value
-      & opt int Ppp_core.Runner.default_params.Ppp_core.Runner.warmup_cycles
-      & info [ "warmup" ] ~docv:"CYCLES" ~doc:"Warmup cycles.")
+    Cli.int cli [ "--warmup" ] ~docv:"CYCLES" ~doc:"Warmup cycles."
+      Ppp_core.Runner.default_params.Ppp_core.Runner.warmup_cycles
   in
   let measure =
-    Arg.(
-      value
-      & opt int Ppp_core.Runner.default_params.Ppp_core.Runner.measure_cycles
-      & info [ "measure" ] ~docv:"CYCLES" ~doc:"Measured cycles.")
+    Cli.int cli [ "--measure" ] ~docv:"CYCLES" ~doc:"Measured cycles."
+      Ppp_core.Runner.default_params.Ppp_core.Runner.measure_cycles
   in
   let quick =
-    Arg.(
-      value & flag
-      & info [ "quick" ] ~doc:"Quarter-length windows (faster, noisier).")
+    Cli.flag cli [ "--quick" ]
+      ~doc:"Quarter-length windows (faster, noisier)."
   in
   let jobs =
-    Arg.(
-      value & opt int 0
-      & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:
-            "Worker domains for independent experiment cells (0 = physical \
-             cores, 1 = sequential). Output is byte-identical for any value.")
+    Cli.int cli [ "--jobs"; "-j" ] ~docv:"N"
+      ~doc:
+        "Worker domains for independent experiment cells (0 = physical \
+         cores, 1 = sequential). Output is byte-identical for any value."
+      0
   in
-  let build config seed warmup measure quick jobs =
-    match Ppp_hw.Machine.by_name config with
-    | None -> `Error (false, Printf.sprintf "unknown config %S" config)
+  fun () ->
+    (match Ppp_hw.Machine.by_name !config with
+    | None -> Cli.die cli (Printf.sprintf "unknown config %S" !config)
     | Some c ->
-        if jobs < 0 then `Error (false, "--jobs must be >= 0")
-        else begin
-          Ppp_core.Parallel.set_jobs jobs;
-          let div = if quick then 4 else 1 in
-          `Ok
-            {
-              Ppp_core.Runner.config = c;
-              seed;
-              warmup_cycles = warmup / div;
-              measure_cycles = measure / div;
-              cell = "";
-            }
-        end
-  in
-  Term.(ret (const build $ config $ seed $ warmup $ measure $ quick $ jobs))
+        if !jobs < 0 then Cli.die cli "--jobs must be >= 0";
+        Ppp_core.Parallel.set_jobs !jobs;
+        let div = if !quick then 4 else 1 in
+        {
+          Ppp_core.Runner.config = c;
+          seed = !seed;
+          warmup_cycles = !warmup / div;
+          measure_cycles = !measure / div;
+          cell = "";
+        })
 
-(* --- telemetry flags (--trace / --metrics / --sample-cycles / --verbose) --- *)
+(* --- shared flags: telemetry (--trace / --metrics / --sample-cycles) --- *)
 
 type telemetry_opts = {
   trace : string option;
@@ -64,51 +53,43 @@ type telemetry_opts = {
   verbose : bool;
 }
 
-let telemetry_term =
+let telemetry_args cli =
   let trace =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE"
-          ~doc:
-            "Export a Chrome trace-event JSON of the run (open in Perfetto \
-             or chrome://tracing): counter time series per core on the \
-             simulated clock, plus wall-clock runner spans.")
+    Cli.opt_string cli [ "--trace" ] ~docv:"FILE"
+      ~doc:
+        "Export a Chrome trace-event JSON of the run (open in Perfetto or \
+         chrome://tracing): counter time series per core on the simulated \
+         clock, plus wall-clock runner spans."
   in
   let metrics =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics" ] ~docv:"DIR"
-          ~doc:
-            "Export machine-readable metrics into $(docv): series.csv \
-             (simulated-time counter slices), spans.csv (wall-clock runner \
-             spans) and manifest.json (run provenance + per-experiment \
-             wall-clock).")
+    Cli.opt_string cli [ "--metrics" ] ~docv:"DIR"
+      ~doc:
+        "Export machine-readable metrics into DIR: series.csv \
+         (simulated-time counter slices), spans.csv (wall-clock runner \
+         spans) and manifest.json (run provenance + per-experiment \
+         wall-clock)."
   in
   let sample_cycles =
-    Arg.(
-      value & opt int 0
-      & info [ "sample-cycles" ] ~docv:"K"
-          ~doc:
-            "Counter-sampling slice length in simulated cycles (0 = \
-             measure_cycles / 20). Only meaningful with $(b,--trace) or \
-             $(b,--metrics).")
+    Cli.int cli [ "--sample-cycles" ] ~docv:"K"
+      ~doc:
+        "Counter-sampling slice length in simulated cycles (0 = \
+         measure_cycles / 20). Only meaningful with --trace or --metrics."
+      0
   in
   let verbose =
-    Arg.(
-      value & flag
-      & info [ "verbose" ]
-          ~doc:
-            "Echo per-experiment wall-clock timings to stderr (they are \
-             always recorded in the manifest when $(b,--metrics) is \
-             given).")
+    Cli.flag cli [ "--verbose" ]
+      ~doc:
+        "Echo per-experiment wall-clock timings to stderr (they are always \
+         recorded in the manifest when --metrics is given)."
   in
-  let build trace metrics sample_cycles verbose =
-    if sample_cycles < 0 then `Error (false, "--sample-cycles must be >= 0")
-    else `Ok { trace; metrics; sample_cycles; verbose }
-  in
-  Term.(ret (const build $ trace $ metrics $ sample_cycles $ verbose))
+  fun () ->
+    if !sample_cycles < 0 then Cli.die cli "--sample-cycles must be >= 0";
+    {
+      trace = !trace;
+      metrics = !metrics;
+      sample_cycles = !sample_cycles;
+      verbose = !verbose;
+    }
 
 let effective_sample_cycles params t =
   if t.sample_cycles > 0 then t.sample_cycles
@@ -168,78 +149,123 @@ let finish_telemetry params t =
     Printf.eprintf "repro: cannot write telemetry output: %s\n%!" msg;
     exit 1
 
-let list_cmd =
-  let json =
-    Arg.(
-      value & flag
-      & info [ "json" ]
-          ~doc:
-            "Machine-readable output: a JSON array of {id, title, \
-             paper_ref} objects, for tooling/CI.")
-  in
-  let run json =
-    if json then
-      print_endline
-        (Ppp_telemetry.Json.to_string (Ppp_experiments.Registry.to_json ()))
-    else
-      List.iter
-        (fun e ->
-          Printf.printf "%-10s %-22s %s\n" e.Ppp_experiments.Registry.id
-            ("[" ^ e.Ppp_experiments.Registry.paper_ref ^ "]")
-            e.Ppp_experiments.Registry.title)
-        Ppp_experiments.Registry.all
-  in
-  Cmd.v (Cmd.info "list" ~doc:"List available experiments.")
-    Term.(const run $ json)
+(* --- list --- *)
 
-let run_experiment ~verbose params id =
+let list_main () =
+  let cli =
+    Cli.create ~prog:"repro list [--json]"
+      ~summary:"List available experiments."
+  in
+  let json =
+    Cli.flag cli [ "--json" ]
+      ~doc:
+        "Machine-readable output: a JSON array of {id, title, paper_ref} \
+         objects, for tooling/CI."
+  in
+  (match Cli.parse cli ~start:2 Sys.argv with
+  | [] -> ()
+  | a :: _ -> Cli.die cli (Printf.sprintf "unexpected argument %S" a));
+  if !json then
+    print_endline
+      (Ppp_telemetry.Json.to_string (Ppp_experiments.Registry.to_json ()))
+  else
+    List.iter
+      (fun e ->
+        Printf.printf "%-10s %-22s %s\n" e.Ppp_experiments.Registry.id
+          ("[" ^ e.Ppp_experiments.Registry.paper_ref ^ "]")
+          e.Ppp_experiments.Registry.title)
+      Ppp_experiments.Registry.all
+
+(* --- run / all --- *)
+
+let find_experiment id =
   match Ppp_experiments.Registry.find id with
+  | Some e -> e
   | None ->
       Printf.eprintf "unknown experiment %S (try `repro list`)\n" id;
       exit 1
-  | Some e ->
-      Printf.printf "=== %s (%s): %s ===\n%!" e.Ppp_experiments.Registry.id
-        e.Ppp_experiments.Registry.paper_ref e.Ppp_experiments.Registry.title;
-      Ppp_telemetry.Recorder.set_experiment e.Ppp_experiments.Registry.id;
-      let t0 = Unix.gettimeofday () in
-      let out = e.Ppp_experiments.Registry.run ~params () in
-      let wall_s = Unix.gettimeofday () -. t0 in
-      Printf.printf "%s\n%!" out;
-      Ppp_telemetry.Recorder.set_experiment "";
-      (* Wall-clock lives in the manifest (structured, --metrics); the
-         stderr echo is opt-in so stdout/stderr stay quiet and stdout is
-         byte-identical across job counts, seeds being equal. *)
-      Ppp_telemetry.Recorder.record_experiment ~id
-        ~title:e.Ppp_experiments.Registry.title
-        ~paper_ref:e.Ppp_experiments.Registry.paper_ref ~wall_s;
-      if verbose then Printf.eprintf "[%s: %.1fs]\n%!" id wall_s
 
-let run_cmd =
-  let ids =
-    Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT")
-  in
-  let run params telemetry ids =
-    setup_telemetry params telemetry;
-    List.iter (run_experiment ~verbose:telemetry.verbose params) ids;
-    finish_telemetry params telemetry
-  in
-  Cmd.v
-    (Cmd.info "run" ~doc:"Run one or more experiments by id.")
-    Term.(const run $ params_term $ telemetry_term $ ids)
+let run_experiment ~verbose params (e : Ppp_experiments.Registry.t) =
+  let id = e.Ppp_experiments.Registry.id in
+  Ppp_telemetry.Recorder.set_experiment id;
+  let t0 = Unix.gettimeofday () in
+  let out = e.Ppp_experiments.Registry.run ~params () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Ppp_telemetry.Recorder.set_experiment "";
+  (* Wall-clock lives in the manifest (structured, --metrics); the stderr
+     echo is opt-in so stdout/stderr stay quiet and stdout is
+     byte-identical across job counts, seeds being equal. *)
+  Ppp_telemetry.Recorder.record_experiment ~id
+    ~title:e.Ppp_experiments.Registry.title
+    ~paper_ref:e.Ppp_experiments.Registry.paper_ref ~wall_s;
+  if verbose then Printf.eprintf "[%s: %.1fs]\n%!" id wall_s;
+  out
 
-let all_cmd =
-  let run params telemetry =
-    setup_telemetry params telemetry;
-    List.iter
-      (fun e ->
-        run_experiment ~verbose:telemetry.verbose params
-          e.Ppp_experiments.Registry.id)
-      Ppp_experiments.Registry.all;
-    finish_telemetry params telemetry
+let print_text params ~verbose (e : Ppp_experiments.Registry.t) =
+  Printf.printf "=== %s (%s): %s ===\n%!" e.Ppp_experiments.Registry.id
+    e.Ppp_experiments.Registry.paper_ref e.Ppp_experiments.Registry.title;
+  let out = run_experiment ~verbose params e in
+  Printf.printf "%s\n%!" out.Ppp_experiments.Output.text
+
+let json_envelope (e : Ppp_experiments.Registry.t) out =
+  Ppp_telemetry.Json.Obj
+    [
+      ("id", Ppp_telemetry.Json.Str e.Ppp_experiments.Registry.id);
+      ("title", Ppp_telemetry.Json.Str e.Ppp_experiments.Registry.title);
+      ( "paper_ref",
+        Ppp_telemetry.Json.Str e.Ppp_experiments.Registry.paper_ref );
+      ("data", out.Ppp_experiments.Output.data);
+    ]
+
+let print_json params ~verbose experiments =
+  let envelopes =
+    List.map
+      (fun e -> json_envelope e (run_experiment ~verbose params e))
+      experiments
   in
-  Cmd.v
-    (Cmd.info "all" ~doc:"Run every experiment (the full reproduction).")
-    Term.(const run $ params_term $ telemetry_term)
+  (* One experiment prints one object; several print an array — either way
+     stdout is a single JSON document. *)
+  let doc =
+    match envelopes with
+    | [ one ] -> one
+    | many -> Ppp_telemetry.Json.Arr many
+  in
+  print_endline (Ppp_telemetry.Json.to_string doc)
+
+let run_all_main ~all () =
+  let prog, summary, positional =
+    if all then
+      ("repro all [options]", "Run every experiment (the full reproduction).",
+       fun cli -> function
+        | [] -> List.map (fun e -> e.Ppp_experiments.Registry.id)
+                  Ppp_experiments.Registry.all
+        | a :: _ -> Cli.die cli (Printf.sprintf "unexpected argument %S" a))
+    else
+      ("repro run [options] EXPERIMENT...",
+       "Run one or more experiments by id.",
+       fun cli -> function
+        | [] -> Cli.die cli "expected at least one experiment id"
+        | ids -> ids)
+  in
+  let cli = Cli.create ~prog ~summary in
+  let params = params_args cli in
+  let telemetry = telemetry_args cli in
+  let json =
+    Cli.flag cli [ "--json" ]
+      ~doc:
+        "Print each experiment's structured result (id, title, paper_ref, \
+         data) as a single JSON document instead of the rendered tables."
+  in
+  let ids = positional cli (Cli.parse cli ~start:2 Sys.argv) in
+  let params = params () and telemetry = telemetry () in
+  let experiments = List.map find_experiment ids in
+  setup_telemetry params telemetry;
+  if !json then print_json params ~verbose:telemetry.verbose experiments
+  else
+    List.iter (print_text params ~verbose:telemetry.verbose) experiments;
+  finish_telemetry params telemetry
+
+(* --- mix / predict / capture --- *)
 
 let parse_kinds names =
   List.map
@@ -252,130 +278,162 @@ let parse_kinds names =
           exit 1)
     names
 
-let mix_cmd =
-  let kinds =
-    Arg.(non_empty & pos_all string [] & info [] ~docv:"FLOW")
+let mix_main () =
+  let cli =
+    Cli.create ~prog:"repro mix [options] FLOW..."
+      ~summary:
+        "Co-run an ad-hoc set of flows (one per core) and report drops."
   in
-  let run params telemetry names =
-    setup_telemetry params telemetry;
-    let kinds = parse_kinds names in
-    let specs =
-      List.mapi
-        (fun i kind -> Ppp_core.Runner.flow_on ~core:i kind)
-        kinds
-    in
-    let solos =
-      List.map
-        (fun k -> (k, Ppp_core.Runner.solo ~params k))
-        (List.sort_uniq compare kinds)
-    in
-    let results =
-      Ppp_core.Runner.run
-        ~params:(Ppp_core.Runner.with_cell params "mix")
-        specs
-    in
-    let t =
-      Ppp_util.Table.create
-        ~title:"Co-run (one flow per core, data local, socket-filling order)"
+  let params = params_args cli in
+  let telemetry = telemetry_args cli in
+  let names =
+    match Cli.parse cli ~start:2 Sys.argv with
+    | [] -> Cli.die cli "expected at least one flow type"
+    | names -> names
+  in
+  let params = params () and telemetry = telemetry () in
+  setup_telemetry params telemetry;
+  let kinds = parse_kinds names in
+  let specs =
+    List.mapi (fun i kind -> Ppp_core.Runner.flow_on ~core:i kind) kinds
+  in
+  let solos =
+    List.map
+      (fun k -> (k, Ppp_core.Runner.solo ~params k))
+      (List.sort_uniq compare kinds)
+  in
+  let results =
+    Ppp_core.Runner.run
+      ~params:(Ppp_core.Runner.with_cell params "mix")
+      specs
+  in
+  let t =
+    Ppp_util.Table.create
+      ~title:"Co-run (one flow per core, data local, socket-filling order)"
+      [
+        "flow"; "core"; "pps"; "drop (%)"; "L3 refs/s (M)"; "L3 hits/s (M)";
+        "cycles/pkt"; "lat p50"; "lat p99";
+      ]
+  in
+  List.iter2
+    (fun kind (r : Ppp_hw.Engine.result) ->
+      let solo = List.assoc kind solos in
+      Ppp_util.Table.add_row t
         [
-          "flow"; "core"; "pps"; "drop (%)"; "L3 refs/s (M)"; "L3 hits/s (M)";
-          "cycles/pkt"; "lat p50"; "lat p99";
-        ]
-    in
-    List.iter2
-      (fun kind (r : Ppp_hw.Engine.result) ->
-        let solo = List.assoc kind solos in
-        Ppp_util.Table.add_row t
-          [
-            Ppp_apps.App.name kind;
-            string_of_int r.Ppp_hw.Engine.core;
-            Printf.sprintf "%.0f" r.Ppp_hw.Engine.throughput_pps;
-            Printf.sprintf "%.2f"
-              (100.0 *. Ppp_core.Runner.drop ~solo ~corun:r);
-            Printf.sprintf "%.1f" (r.Ppp_hw.Engine.l3_refs_per_sec /. 1e6);
-            Printf.sprintf "%.1f" (r.Ppp_hw.Engine.l3_hits_per_sec /. 1e6);
-            Printf.sprintf "%.0f"
-              (float_of_int r.Ppp_hw.Engine.window_cycles
-              /. float_of_int (max 1 r.Ppp_hw.Engine.packets));
-            string_of_int
-              (Ppp_util.Histogram.percentile r.Ppp_hw.Engine.latency 50.0);
-            string_of_int
-              (Ppp_util.Histogram.percentile r.Ppp_hw.Engine.latency 99.0);
-          ])
-      kinds results;
-    Ppp_util.Table.print t;
-    finish_telemetry params telemetry
-  in
-  Cmd.v
-    (Cmd.info "mix"
-       ~doc:"Co-run an ad-hoc set of flows (one per core) and report drops.")
-    Term.(const run $ params_term $ telemetry_term $ kinds)
+          Ppp_apps.App.name kind;
+          string_of_int r.Ppp_hw.Engine.core;
+          Printf.sprintf "%.0f" r.Ppp_hw.Engine.throughput_pps;
+          Printf.sprintf "%.2f" (100.0 *. Ppp_core.Runner.drop ~solo ~corun:r);
+          Printf.sprintf "%.1f" (r.Ppp_hw.Engine.l3_refs_per_sec /. 1e6);
+          Printf.sprintf "%.1f" (r.Ppp_hw.Engine.l3_hits_per_sec /. 1e6);
+          Printf.sprintf "%.0f"
+            (float_of_int r.Ppp_hw.Engine.window_cycles
+            /. float_of_int (max 1 r.Ppp_hw.Engine.packets));
+          string_of_int
+            (Ppp_util.Histogram.percentile r.Ppp_hw.Engine.latency 50.0);
+          string_of_int
+            (Ppp_util.Histogram.percentile r.Ppp_hw.Engine.latency 99.0);
+        ])
+    kinds results;
+  Ppp_util.Table.print t;
+  finish_telemetry params telemetry
 
-let predict_cmd =
-  let target = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in
-  let competitors = Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"COMPETITOR") in
-  let run params target competitors =
-    let t = List.hd (parse_kinds [ target ]) in
-    let cs = parse_kinds competitors in
-    let targets = List.sort_uniq compare (t :: cs) in
-    Printf.printf "profiling %d flow types offline...\n%!" (List.length targets);
-    let p = Ppp_core.Predictor.build ~params ~targets () in
-    let drop = Ppp_core.Predictor.predict_drop p ~target:t ~competitors:cs in
-    Printf.printf
-      "predicted drop of %s against [%s]: %.2f%% (predicted throughput %.0f \
-       pps)\n"
-      (Ppp_apps.App.name t)
-      (String.concat ", " (List.map Ppp_apps.App.name cs))
-      (100.0 *. drop)
-      (Ppp_core.Predictor.predict_throughput p ~target:t ~competitors:cs)
+let predict_main () =
+  let cli =
+    Cli.create ~prog:"repro predict [options] TARGET COMPETITOR..."
+      ~summary:
+        "Predict a target flow's contention-induced drop against a set of \
+         competitors using the paper's offline-profiling method."
   in
-  Cmd.v
-    (Cmd.info "predict"
-       ~doc:
-         "Predict a target flow's contention-induced drop against a set of \
-          competitors using the paper's offline-profiling method.")
-    Term.(const run $ params_term $ target $ competitors)
+  let params = params_args cli in
+  let target, competitors =
+    match Cli.parse cli ~start:2 Sys.argv with
+    | target :: (_ :: _ as competitors) -> (target, competitors)
+    | _ -> Cli.die cli "expected a target flow and at least one competitor"
+  in
+  let params = params () in
+  let t = List.hd (parse_kinds [ target ]) in
+  let cs = parse_kinds competitors in
+  let targets = List.sort_uniq compare (t :: cs) in
+  Printf.printf "profiling %d flow types offline...\n%!" (List.length targets);
+  let p = Ppp_core.Predictor.build ~params ~targets () in
+  let drop = Ppp_core.Predictor.predict_drop p ~target:t ~competitors:cs in
+  Printf.printf
+    "predicted drop of %s against [%s]: %.2f%% (predicted throughput %.0f \
+     pps)\n"
+    (Ppp_apps.App.name t)
+    (String.concat ", " (List.map Ppp_apps.App.name cs))
+    (100.0 *. drop)
+    (Ppp_core.Predictor.predict_throughput p ~target:t ~competitors:cs)
 
-let capture_cmd =
-  let kind = Arg.(required & pos 0 (some string) None & info [] ~docv:"FLOW") in
+let capture_main () =
+  let cli =
+    Cli.create ~prog:"repro capture [options] FLOW"
+      ~summary:
+        "Write a flow type's generated traffic to a standard pcap file \
+         (inspectable with tcpdump/wireshark; replayable with \
+         Ppp_traffic.Pcap.replay)."
+  in
+  let params = params_args cli in
   let count =
-    Arg.(value & opt int 1000 & info [ "count"; "n" ] ~docv:"N" ~doc:"Packets to capture.")
+    Cli.int cli [ "--count"; "-n" ] ~docv:"N" ~doc:"Packets to capture." 1000
   in
   let out =
-    Arg.(value & opt string "capture.pcap" & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output pcap.")
+    Cli.string cli [ "--output"; "-o" ] ~docv:"FILE" ~doc:"Output pcap."
+      "capture.pcap"
   in
-  let run params name count out =
-    let kind = List.hd (parse_kinds [ name ]) in
-    let heap = Ppp_simmem.Heap.create ~node:0 in
-    let rng = Ppp_util.Rng.create ~seed:params.Ppp_core.Runner.seed in
-    let built =
-      Ppp_apps.App.build kind ~heap ~rng
-        ~scale:params.Ppp_core.Runner.config.Ppp_hw.Machine.scale
-    in
-    let cap = Ppp_traffic.Pcap.create () in
-    let pkt = Ppp_net.Packet.create 60 in
-    for _ = 1 to count do
-      built.Ppp_apps.App.gen pkt;
-      Ppp_traffic.Pcap.append cap pkt
-    done;
-    Ppp_traffic.Pcap.save cap out;
-    Printf.printf "wrote %d %s packets to %s\n" count
-      (Ppp_apps.App.name kind) out
+  let name =
+    match Cli.parse cli ~start:2 Sys.argv with
+    | [ name ] -> name
+    | _ -> Cli.die cli "expected exactly one flow type"
   in
-  Cmd.v
-    (Cmd.info "capture"
-       ~doc:
-         "Write a flow type's generated traffic to a standard pcap file \
-          (inspectable with tcpdump/wireshark; replayable with \
-          Ppp_traffic.Pcap.replay).")
-    Term.(const run $ params_term $ kind $ count $ out)
+  let params = params () in
+  let kind = List.hd (parse_kinds [ name ]) in
+  let heap = Ppp_simmem.Heap.create ~node:0 in
+  let rng = Ppp_util.Rng.create ~seed:params.Ppp_core.Runner.seed in
+  let built =
+    Ppp_apps.App.build kind ~heap ~rng
+      ~scale:params.Ppp_core.Runner.config.Ppp_hw.Machine.scale
+  in
+  let cap = Ppp_traffic.Pcap.create () in
+  let pkt = Ppp_net.Packet.create 60 in
+  for _ = 1 to !count do
+    built.Ppp_apps.App.gen pkt;
+    Ppp_traffic.Pcap.append cap pkt
+  done;
+  Ppp_traffic.Pcap.save cap !out;
+  Printf.printf "wrote %d %s packets to %s\n" !count
+    (Ppp_apps.App.name kind) !out
+
+(* --- dispatch --- *)
+
+let toplevel_usage =
+  "repro — reproduction of 'Toward Predictable Performance in Software \
+   Packet-Processing Platforms' (NSDI 2012).\n\
+   usage: repro COMMAND [options] [args]\n\
+  \  list     List available experiments.\n\
+  \  run      Run one or more experiments by id.\n\
+  \  all      Run every experiment (the full reproduction).\n\
+  \  mix      Co-run an ad-hoc set of flows (one per core).\n\
+  \  predict  Predict contention-induced drop from offline profiles.\n\
+  \  capture  Write a flow type's generated traffic to a pcap file.\n\
+   Run `repro COMMAND --help` for the command's options.\n"
 
 let () =
-  let info =
-    Cmd.info "repro" ~version:"1.0.0"
-      ~doc:
-        "Reproduction of 'Toward Predictable Performance in Software \
-         Packet-Processing Platforms' (NSDI 2012)."
-  in
-  exit
-    (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; mix_cmd; predict_cmd; capture_cmd ]))
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "" with
+  | "list" -> list_main ()
+  | "run" -> run_all_main ~all:false ()
+  | "all" -> run_all_main ~all:true ()
+  | "mix" -> mix_main ()
+  | "predict" -> predict_main ()
+  | "capture" -> capture_main ()
+  | "--help" | "-h" ->
+      print_string toplevel_usage;
+      exit 0
+  | "" ->
+      prerr_string toplevel_usage;
+      exit 2
+  | cmd ->
+      prerr_endline ("repro: unknown command " ^ cmd);
+      prerr_string toplevel_usage;
+      exit 2

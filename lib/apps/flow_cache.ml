@@ -21,7 +21,7 @@ let hits t = t.hits
 let misses t = t.misses
 
 let key_of pkt =
-  let h = Ppp_net.Flowid.hash (Ppp_net.Flowid.of_packet pkt) in
+  let h = Ppp_net.Flowid.hash_of_packet pkt in
   let key = (h lsr 16) land 0x3FFFFFFFFFF in
   (* Never zero: zero marks an empty slot. *)
   if key = 0 then 1 else key

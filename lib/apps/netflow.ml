@@ -7,10 +7,20 @@ type entry = {
   last_seen : int;
 }
 
-type slot = Empty | Full of entry
-
+(* The table the simulated cores see is [slots] — one 64-byte line per
+   entry, probed with one instrumented read per step and one instrumented
+   write per update, exactly as a padded C struct array would be. The
+   entry *contents* are host-side bookkeeping and live in flat int arrays:
+   the old [Empty | Full of entry] representation allocated a key record,
+   an entry and a constructor per packet on MON's hottest path. *)
 type t = {
-  table : slot Iarray.t;
+  slots : int Iarray.t; (* 0 = empty, 1 = occupied; carries the trace ops *)
+  k_src : int array;
+  k_dst : int array;
+  k_ports : int array; (* sport lsl 24 | dport lsl 8 | proto — injective *)
+  packets : int array;
+  bytes : int array;
+  last_seen : int array;
   mask : int;
   mutable active : int;
   mutable evictions : int;
@@ -22,7 +32,13 @@ let create ~heap ~entries =
   if entries <= 0 then invalid_arg "Netflow.create: entries";
   let cap = pow2 entries 16 in
   {
-    table = Iarray.create heap ~elem_bytes:64 cap Empty;
+    slots = Iarray.create heap ~elem_bytes:64 cap 0;
+    k_src = Array.make cap 0;
+    k_dst = Array.make cap 0;
+    k_ports = Array.make cap 0;
+    packets = Array.make cap 0;
+    bytes = Array.make cap 0;
+    last_seen = Array.make cap 0;
     mask = cap - 1;
     active = 0;
     evictions = 0;
@@ -33,46 +49,73 @@ let active_flows t = t.active
 let evictions t = t.evictions
 let max_probes = 8
 
+let store t idx ~src ~dst ~ports ~pkts ~byts ~now =
+  t.k_src.(idx) <- src;
+  t.k_dst.(idx) <- dst;
+  t.k_ports.(idx) <- ports;
+  t.packets.(idx) <- pkts;
+  t.bytes.(idx) <- byts;
+  t.last_seen.(idx) <- now
+
 let update t b ~fn pkt ~now =
-  let key = Ppp_net.Flowid.of_packet pkt in
-  let h = Ppp_net.Flowid.hash key land t.mask in
+  let src = Ppp_net.Ipv4.src pkt in
+  let dst = Ppp_net.Ipv4.dst pkt in
+  let sport = Ppp_net.Transport.src_port pkt in
+  let dport = Ppp_net.Transport.dst_port pkt in
+  let proto = Ppp_net.Ipv4.proto pkt in
+  let ports = (sport lsl 24) lor (dport lsl 8) lor proto in
+  let h = Ppp_net.Flowid.hash_of_packet pkt land t.mask in
   let bytes = pkt.Ppp_net.Packet.len in
-  let rec probe i =
-    let idx = (h + i) land t.mask in
-    match Iarray.get t.table b ~fn idx with
-    | Empty ->
-        Iarray.set t.table b ~fn idx
-          (Full { key; packets = 1; bytes; last_seen = now });
-        t.active <- t.active + 1
-    | Full e when Ppp_net.Flowid.equal e.key key ->
-        Iarray.set t.table b ~fn idx
-          (Full
-             {
-               e with
-               packets = e.packets + 1;
-               bytes = e.bytes + bytes;
-               last_seen = now;
-             })
-    | Full _ ->
-        if i + 1 >= max_probes || t.active > (t.mask + 1) * 15 / 16 then begin
-          (* Evict the colliding flow (fixed-size collector behaviour). *)
-          Iarray.set t.table b ~fn idx
-            (Full { key; packets = 1; bytes; last_seen = now });
-          t.evictions <- t.evictions + 1
-        end
-        else probe (i + 1)
-  in
-  probe 0
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let idx = (h + !i) land t.mask in
+    let state = Iarray.get t.slots b ~fn idx in
+    if state = 0 then begin
+      Iarray.set t.slots b ~fn idx 1;
+      store t idx ~src ~dst ~ports ~pkts:1 ~byts:bytes ~now;
+      t.active <- t.active + 1;
+      continue := false
+    end
+    else if
+      t.k_src.(idx) = src && t.k_dst.(idx) = dst && t.k_ports.(idx) = ports
+    then begin
+      Iarray.set t.slots b ~fn idx 1;
+      t.packets.(idx) <- t.packets.(idx) + 1;
+      t.bytes.(idx) <- t.bytes.(idx) + bytes;
+      t.last_seen.(idx) <- now;
+      continue := false
+    end
+    else if !i + 1 >= max_probes || t.active > (t.mask + 1) * 15 / 16 then begin
+      (* Evict the colliding flow (fixed-size collector behaviour). *)
+      Iarray.set t.slots b ~fn idx 1;
+      store t idx ~src ~dst ~ports ~pkts:1 ~byts:bytes ~now;
+      t.evictions <- t.evictions + 1;
+      continue := false
+    end
+    else incr i
+  done
 
 let find t key =
-  let h = Ppp_net.Flowid.hash key land t.mask in
+  let open Ppp_net.Flowid in
+  let ports = (key.sport lsl 24) lor (key.dport lsl 8) lor key.proto in
+  let h = hash key land t.mask in
   let rec probe i =
     if i >= max_probes then None
     else
       let idx = (h + i) land t.mask in
-      match Iarray.peek t.table idx with
-      | Empty -> None
-      | Full e when Ppp_net.Flowid.equal e.key key -> Some e
-      | Full _ -> probe (i + 1)
+      if Iarray.peek t.slots idx = 0 then None
+      else if
+        t.k_src.(idx) = key.src && t.k_dst.(idx) = key.dst
+        && t.k_ports.(idx) = ports
+      then
+        Some
+          {
+            key;
+            packets = t.packets.(idx);
+            bytes = t.bytes.(idx);
+            last_seen = t.last_seen.(idx);
+          }
+      else probe (i + 1)
   in
   probe 0

@@ -102,7 +102,28 @@ let lookup_gen t read dst =
   end;
   !best
 
-let lookup t b ~fn dst = lookup_gen t (fun arr i -> Iarray.get arr b ~fn i) dst
+(* The instrumented lookup is specialized rather than going through
+   [lookup_gen]: the closure over the builder cost an allocation and an
+   indirect call per table read, on every forwarded packet. *)
+let lookup t b ~fn dst =
+  let dst = dst land 0xFFFFFFFF in
+  let best = ref t.default_hop in
+  let e0 = Iarray.get t.root b ~fn (dst lsr 16) in
+  if hop_of e0 > 0 then best := hop_of e0;
+  let c1 = child_of e0 in
+  if c1 >= 0 then begin
+    ignore (Iarray.get t.pool b ~fn (c1 * node_entries) : int);
+    let e1 = Iarray.get t.pool b ~fn ((c1 * node_entries) + ((dst lsr 8) land 0xFF)) in
+    if hop_of e1 > 0 then best := hop_of e1;
+    let c2 = child_of e1 in
+    if c2 >= 0 then begin
+      ignore (Iarray.get t.pool b ~fn (c2 * node_entries) : int);
+      let e2 = Iarray.get t.pool b ~fn ((c2 * node_entries) + (dst land 0xFF)) in
+      if hop_of e2 > 0 then best := hop_of e2
+    end
+  end;
+  !best
+
 let lookup_quiet t dst = lookup_gen t Iarray.peek dst
 let routes t = t.routes
 let nodes t = t.next_node

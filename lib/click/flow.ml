@@ -96,4 +96,6 @@ let source t (_now : int) =
       t.forwarded <- t.forwarded + 1
   | Element.Drop -> t.dropped <- t.dropped + 1);
   recycle t slot;
-  Ppp_hw.Engine.Packet (Ppp_hw.Trace.Builder.finish b)
+  (* [view], not [finish]: the engine replays this trace to completion
+     before calling us again, so the builder's buffer can be shared. *)
+  Ppp_hw.Engine.Packet (Ppp_hw.Trace.Builder.view b)

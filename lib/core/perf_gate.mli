@@ -1,0 +1,59 @@
+(** The simulator's own benchmark ("bench --perf-gate"): times fig2-sized
+    {!Ppp_hw.Engine.run} workloads — target solo, target + 5 competitors,
+    and the same contended run under a [?probe] sampler — and audits the
+    cache-hit path for minor-heap allocation. The report serializes to the
+    committed [BENCH_engine.json], whose [trajectory] array records one
+    point per optimization round so regenerating the file never loses the
+    bench history. *)
+
+type measurement = {
+  name : string;  (** "solo" | "contended" | "probed" *)
+  flows : int;
+  runs : int;  (** repetitions; [wall_s] is the best of them *)
+  wall_s : float;
+  engine_ops : int;  (** trace ops replayed, summed over cores *)
+  ops_per_sec : float;
+  allocated_bytes_per_op : float;
+      (** [Gc.allocated_bytes] delta across the best run, per op *)
+  window_packets : int;  (** sanity anchor: must not move with the engine *)
+}
+
+type hit_path = {
+  accesses : int;
+  allocated_bytes : float;
+  bytes_per_access : float;
+  zero_alloc : bool;
+      (** true iff the repeated L1-hit loop allocated nothing beyond the
+          constant slack of the measurement itself *)
+}
+
+type report = {
+  config : string;
+  seed : int;
+  quick : bool;
+  warmup_cycles : int;
+  measure_cycles : int;
+  workloads : measurement list;
+  hit : hit_path;
+}
+
+type trajectory_point = {
+  label : string;
+  contended_ops_per_sec : float;
+  contended_bytes_per_op : float;
+  hit_path_bytes_per_access : float;
+}
+
+val trajectory : trajectory_point list
+(** The recorded bench history (full-length contended workload), one entry
+    per optimization round, oldest first. Kept as code so the JSON can be
+    regenerated without losing it. *)
+
+val run : ?quick:bool -> ?runs:int -> unit -> report
+(** [quick] quarters the warmup/measure windows and defaults [runs] to 1
+    (CI smoke); the full gate defaults to best-of-3. *)
+
+val to_json : report -> Ppp_telemetry.Json.t
+
+val required_keys : string list
+(** Top-level keys every BENCH_engine.json must carry (tested). *)

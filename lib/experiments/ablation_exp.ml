@@ -205,4 +205,49 @@ let render data =
   Table.to_string b ^ "\n" ^ Table.to_string d ^ "\n" ^ Table.to_string n
   ^ "\n" ^ Table.to_string m
 
-let run ?params () = render (measure ?params ())
+let data_json data =
+  let open Output in
+  Json.Obj
+    [
+      ( "bounds",
+        table
+          [
+            Col.str "flow" (fun (c : bound_check) -> Ppp_apps.App.name c.kind);
+            Col.num "solo_hits_per_sec" (fun c -> c.solo_hits_per_sec);
+            Col.num "bound" (fun c -> c.bound);
+            Col.num "measured_worst" (fun c -> c.measured_worst);
+            Col.bool "within_bound" (fun c ->
+                c.measured_worst <= c.bound +. 0.03);
+          ]
+          data.bounds );
+      ( "delta_sweep",
+        table
+          [
+            Col.int "dram_lat_cycles" (fun p -> p.dram_lat_cycles);
+            Col.num "delta_ns" (fun p -> p.delta_ns);
+            Col.num "mon_drop" (fun p -> p.mon_drop);
+          ]
+          data.delta_sweep );
+      ( "numa",
+        table
+          [
+            Col.str "flow" (fun (c : numa_check) -> Ppp_apps.App.name c.kind);
+            Col.num "local_pps" (fun c -> c.local_pps);
+            Col.num "remote_pps" (fun c -> c.remote_pps);
+            Col.num "penalty" (fun c -> c.penalty);
+          ]
+          data.numa );
+      ( "mlp_sweep",
+        table
+          [
+            Col.int "mlp" (fun p -> p.mlp);
+            Col.num "competing_refs_per_sec" (fun p ->
+                p.competing_refs_per_sec);
+            Col.num "mon_drop" (fun p -> p.mon_drop_mlp);
+          ]
+          data.mlp_sweep );
+    ]
+
+let run ?params () =
+  let data = measure ?params () in
+  Output.make ~text:(render data) ~data:(data_json data)

@@ -126,4 +126,36 @@ let render data =
        combos) = %s%%\n"
       (Exp_common.pct (max_gain data))
 
-let run ?params () = render (measure ?params ())
+let data_json data =
+  let open Output in
+  let eval_json (e : Scheduler.evaluation) =
+    Json.Obj
+      [
+        ("avg_drop", Json.Float e.Scheduler.avg_drop);
+        ( "per_flow",
+          table
+            [
+              Col.str "flow" (fun (k, _) -> Ppp_apps.App.name k);
+              Col.num "drop" snd;
+            ]
+            e.Scheduler.per_flow );
+      ]
+  in
+  let combo_json c =
+    Json.Obj
+      [
+        ("combination", Json.Str (Scheduler.combo_name c.combo));
+        ("best", eval_json c.best);
+        ("worst", eval_json c.worst);
+      ]
+  in
+  Json.Obj
+    [
+      ("combos", Json.Arr (List.map combo_json data.combos));
+      ("detail", combo_json data.detail);
+      ("max_gain_realistic", Json.Float (max_gain data));
+    ]
+
+let run ?params () =
+  let data = measure ?params () in
+  Output.make ~text:(render data) ~data:(data_json data)

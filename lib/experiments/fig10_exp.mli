@@ -21,7 +21,8 @@ type data = {
 val default_combos : config:Ppp_hw.Machine.config -> Ppp_core.Scheduler.combo list
 val measure : ?params:Ppp_core.Runner.params -> ?combos:Ppp_core.Scheduler.combo list -> unit -> data
 val render : data -> string
-val run : ?params:Ppp_core.Runner.params -> unit -> string
+val data_json : data -> Output.Json.t
+val run : ?params:Ppp_core.Runner.params -> unit -> Output.t
 
 val max_gain : data -> float
 (** Largest best-vs-worst average-drop gap across realistic combos. *)

@@ -52,4 +52,32 @@ let render data =
     kinds;
   Table.to_string t ^ "\n" ^ Table.to_string avg
 
-let run ?params () = render (measure ?params ())
+let data_json data =
+  let open Output in
+  Json.Obj
+    [
+      ("n_competitors", Json.Int data.n_competitors);
+      ( "pairs",
+        table
+          [
+            Col.str "target" (fun (p : Exp_common.pair_result) ->
+                Ppp_apps.App.name p.Exp_common.target);
+            Col.str "competitor" (fun p ->
+                Ppp_apps.App.name p.Exp_common.competitor);
+            Col.num "drop" (fun p -> p.Exp_common.drop);
+            Col.num "competing_refs_per_sec" (fun p ->
+                p.Exp_common.competing_refs_per_sec);
+          ]
+          data.pairs );
+      ( "averages",
+        table
+          [
+            Col.str "target" (fun (k, _) -> Ppp_apps.App.name k);
+            Col.num "avg_drop" snd;
+          ]
+          data.averages );
+    ]
+
+let run ?params () =
+  let data = measure ?params () in
+  Output.make ~text:(render data) ~data:(data_json data)

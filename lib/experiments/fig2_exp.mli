@@ -10,4 +10,5 @@ type data = {
 
 val measure : ?params:Ppp_core.Runner.params -> unit -> data
 val render : data -> string
-val run : ?params:Ppp_core.Runner.params -> unit -> string
+val data_json : data -> Output.Json.t
+val run : ?params:Ppp_core.Runner.params -> unit -> Output.t

@@ -73,4 +73,36 @@ let render data =
     data;
   Buffer.contents buf
 
-let run ?params () = render (measure ?params ())
+let curve_json (c : Sensitivity.curve) =
+  let open Output in
+  Json.Obj
+    [
+      ("target", Json.Str (Ppp_apps.App.name c.Sensitivity.target));
+      ("solo_pps", Json.Float c.Sensitivity.solo_pps);
+      ( "points",
+        table
+          [
+            Col.num "competing_refs_per_sec" (fun (p : Sensitivity.point) ->
+                p.Sensitivity.competing_refs_per_sec);
+            Col.num "drop" (fun p -> p.Sensitivity.drop);
+            Col.num "target_hits_per_sec" (fun p ->
+                p.Sensitivity.target_hits_per_sec);
+          ]
+          c.Sensitivity.points );
+    ]
+
+let data_json data =
+  let open Output in
+  Json.Arr
+    (List.map
+       (fun (resource, curves) ->
+         Json.Obj
+           [
+             ("resource", Json.Str (Sensitivity.resource_name resource));
+             ("curves", Json.Arr (List.map curve_json curves));
+           ])
+       data)
+
+let run ?params () =
+  let data = measure ?params () in
+  Output.make ~text:(render data) ~data:(data_json data)

@@ -97,4 +97,27 @@ let render data =
     (Exp_common.pct (max_deviation data));
   Buffer.contents buf
 
-let run ?params () = render (measure ?params ())
+let data_json data =
+  let open Output in
+  Json.Obj
+    [
+      ( "curves",
+        Json.Arr (List.map (fun (_, c) -> Fig4_exp.curve_json c) data.curves)
+      );
+      ( "checks",
+        table
+          [
+            Col.str "target" (fun c -> Ppp_apps.App.name c.target);
+            Col.str "competitor" (fun c -> Ppp_apps.App.name c.competitor);
+            Col.num "competing_refs_per_sec" (fun c ->
+                c.competing_refs_per_sec);
+            Col.num "measured_drop" (fun c -> c.measured_drop);
+            Col.num "curve_drop" (fun c -> c.curve_drop);
+          ]
+          data.checks );
+      ("max_deviation", Json.Float (max_deviation data));
+    ]
+
+let run ?params () =
+  let data = measure ?params () in
+  Output.make ~text:(render data) ~data:(data_json data)

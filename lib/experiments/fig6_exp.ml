@@ -63,4 +63,32 @@ let render data =
     data.app_points;
   Table.to_string t ^ "\n" ^ Table.to_string pts
 
-let run ?params () = render (measure ?params ())
+let data_json data =
+  let open Output in
+  Json.Obj
+    [
+      ("deltas_s", Json.Arr (List.map (fun d -> Json.Float d) data.deltas));
+      ( "curve",
+        Json.Arr
+          (List.map
+             (fun (h, drops) ->
+               Json.Obj
+                 [
+                   ("hits_per_sec", Json.Float h);
+                   ( "max_drop_per_delta",
+                     Json.Arr (List.map (fun d -> Json.Float d) drops) );
+                 ])
+             data.curve_samples) );
+      ( "app_points",
+        table
+          [
+            Col.str "flow" (fun (k, _, _) -> Ppp_apps.App.name k);
+            Col.num "solo_hits_per_sec" (fun (_, h, _) -> h);
+            Col.num "max_drop" (fun (_, _, d) -> d);
+          ]
+          data.app_points );
+    ]
+
+let run ?params () =
+  let data = measure ?params () in
+  Output.make ~text:(render data) ~data:(data_json data)

@@ -104,4 +104,29 @@ let render data =
     data.rows;
   Table.to_string t
 
-let run ?params () = render (measure ?params ())
+let data_json data =
+  let open Output in
+  Json.Obj
+    [
+      ("target", Json.Str (Ppp_apps.App.name data.target));
+      ( "rows",
+        Json.Arr
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ( "competing_refs_per_sec",
+                     Json.Float r.competing_refs_per_sec );
+                   ("measured", Json.Float r.measured);
+                   ("model", Json.Float r.model);
+                   ( "per_fn",
+                     Json.Obj
+                       (List.map (fun (fn, v) -> (fn, Json.Float v)) r.per_fn)
+                   );
+                 ])
+             data.rows) );
+    ]
+
+let run ?params () =
+  let data = measure ?params () in
+  Output.make ~text:(render data) ~data:(data_json data)

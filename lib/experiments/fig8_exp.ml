@@ -107,4 +107,34 @@ let render data =
   Table.to_string t ^ "\n" ^ Table.to_string avg
   ^ Printf.sprintf "\nmax |error| = %s%%\n" (Exp_common.pct (max_abs_error data))
 
-let run ?params () = render (measure ?params ())
+let data_json data =
+  let open Output in
+  let avg name pairs =
+    ( name,
+      table
+        [
+          Col.str "target" (fun (k, _) -> Ppp_apps.App.name k);
+          Col.num "avg_abs_error" snd;
+        ]
+        pairs )
+  in
+  Json.Obj
+    [
+      ( "cells",
+        table
+          [
+            Col.str "target" (fun c -> Ppp_apps.App.name c.target);
+            Col.str "competitor" (fun c -> Ppp_apps.App.name c.competitor);
+            Col.num "measured_drop" (fun c -> c.measured_drop);
+            Col.num "predicted_drop" (fun c -> c.predicted_drop);
+            Col.num "perfect_drop" (fun c -> c.perfect_drop);
+          ]
+          data.cells );
+      avg "avg_error" data.avg_error;
+      avg "avg_error_perfect" data.avg_error_perfect;
+      ("max_abs_error", Json.Float (max_abs_error data));
+    ]
+
+let run ?params () =
+  let data = measure ?params () in
+  Output.make ~text:(render data) ~data:(data_json data)

@@ -18,6 +18,7 @@ type data = {
 
 val measure : ?params:Ppp_core.Runner.params -> unit -> data
 val render : data -> string
-val run : ?params:Ppp_core.Runner.params -> unit -> string
+val data_json : data -> Output.Json.t
+val run : ?params:Ppp_core.Runner.params -> unit -> Output.t
 
 val max_abs_error : data -> float

@@ -81,4 +81,21 @@ let render data =
   Table.to_string t
   ^ Printf.sprintf "\nmax |error| = %s%%\n" (Exp_common.pct data.max_error)
 
-let run ?params () = render (measure ?params ())
+let data_json data =
+  let open Output in
+  Json.Obj
+    [
+      ( "flows",
+        table
+          [
+            Col.str "flow" (fun f -> Ppp_apps.App.name f.kind);
+            Col.num "measured_drop" (fun f -> f.measured_drop);
+            Col.num "predicted_drop" (fun f -> f.predicted_drop);
+          ]
+          data.flows );
+      ("max_abs_error", Json.Float data.max_error);
+    ]
+
+let run ?params () =
+  let data = measure ?params () in
+  Output.make ~text:(render data) ~data:(data_json data)

@@ -11,4 +11,5 @@ type data = { flows : flow_check list; max_error : float }
 
 val measure : ?params:Ppp_core.Runner.params -> unit -> data
 val render : data -> string
-val run : ?params:Ppp_core.Runner.params -> unit -> string
+val data_json : data -> Output.Json.t
+val run : ?params:Ppp_core.Runner.params -> unit -> Output.t

@@ -139,4 +139,18 @@ let render data =
        contention-mitigation lever.\n"
       solo.speedup contended.speedup
 
-let run ?params () = render (measure ?params ())
+let data_json data =
+  let open Output in
+  table
+    [
+      Col.str "scenario" (fun c -> c.scenario);
+      Col.num "plain_pps" (fun c -> c.plain_pps);
+      Col.num "cached_pps" (fun c -> c.cached_pps);
+      Col.num "speedup" (fun c -> c.speedup);
+      Col.num "hit_rate" (fun c -> c.hit_rate);
+    ]
+    data.cells
+
+let run ?params () =
+  let data = measure ?params () in
+  Output.make ~text:(render data) ~data:(data_json data)

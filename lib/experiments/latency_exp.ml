@@ -82,4 +82,24 @@ let render data =
       (float_of_int worst.p50_cycles /. float_of_int (max 1 solo.p50_cycles))
       (float_of_int worst.p99_cycles /. float_of_int (max 1 solo.p99_cycles))
 
-let run ?params () = render (measure ?params ())
+let data_json data =
+  let open Output in
+  Json.Obj
+    [
+      ("target", Json.Str (Ppp_apps.App.name data.target));
+      ( "rows",
+        table
+          [
+            Col.str "scenario" (fun r -> r.scenario);
+            Col.num "throughput_pps" (fun r -> r.throughput_pps);
+            Col.num "mean_cycles" (fun r -> r.mean_cycles);
+            Col.int "p50_cycles" (fun r -> r.p50_cycles);
+            Col.int "p99_cycles" (fun r -> r.p99_cycles);
+            Col.int "max_cycles" (fun r -> r.max_cycles);
+          ]
+          data.rows );
+    ]
+
+let run ?params () =
+  let data = measure ?params () in
+  Output.make ~text:(render data) ~data:(data_json data)

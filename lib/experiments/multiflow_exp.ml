@@ -119,4 +119,26 @@ let render data =
        one flow per core.\n"
       data.escalation
 
-let run ?params () = render (measure ?params ())
+let data_json data =
+  let open Output in
+  let side_json s =
+    Json.Obj
+      [
+        ("configuration", Json.Str s.label);
+        ("total_pps", Json.Float s.total_pps);
+        ( "fw_rule_l3_refs_per_fw_packet",
+          Json.Float s.fw_rule_l3_refs_per_fw_packet );
+        ( "fw_rule_l3_miss_per_fw_packet",
+          Json.Float s.fw_rule_l3_miss_per_fw_packet );
+      ]
+  in
+  Json.Obj
+    [
+      ("separate", side_json data.separate);
+      ("multiplexed", side_json data.multiplexed);
+      ("escalation", Json.Float data.escalation);
+    ]
+
+let run ?params () =
+  let data = measure ?params () in
+  Output.make ~text:(render data) ~data:(data_json data)

@@ -1,0 +1,32 @@
+module Json = Ppp_telemetry.Json
+
+type t = { text : string; data : Json.t }
+
+let make ~text ~data = { text; data }
+let text_only text = { text; data = Json.Null }
+
+module Col = struct
+  type 'row t = { name : string; cell : 'row -> Json.t }
+
+  let str name f = { name; cell = (fun r -> Json.Str (f r)) }
+  let int name f = { name; cell = (fun r -> Json.Int (f r)) }
+  let num name f = { name; cell = (fun r -> Json.Float (f r)) }
+  let bool name f = { name; cell = (fun r -> Json.Bool (f r)) }
+end
+
+let row cols r = Json.Obj (List.map (fun c -> (c.Col.name, c.Col.cell r)) cols)
+
+let table ?title cols rs =
+  let body = Json.Arr (List.map (row cols) rs) in
+  match title with
+  | None -> body
+  | Some title -> Json.Obj [ ("title", Json.Str title); ("rows", body) ]
+
+let points ?(x = "x") ?(y = "y") pts =
+  Json.Arr
+    (List.map
+       (fun (px, py) -> Json.Obj [ (x, Json.Float px); (y, Json.Float py) ])
+       pts)
+
+let series ?x ?y s =
+  points ?x ?y (Array.to_list (Ppp_util.Series.points s))

@@ -1,0 +1,44 @@
+(** Structured experiment output.
+
+    Every driver returns both its human-readable report and the same result
+    as a JSON document, so [repro run --json] and tooling never have to
+    re-parse the aligned tables. The [text] is exactly what the golden
+    snapshots pin down; [data] is built from the driver's measured record
+    (numbers stay numbers — fractions are not pre-formatted into percent
+    strings). *)
+
+module Json = Ppp_telemetry.Json
+
+type t = {
+  text : string;  (** the rendered report, unchanged from the text-only era *)
+  data : Json.t;  (** the measurement behind it, machine-readable *)
+}
+
+val make : text:string -> data:Json.t -> t
+
+val text_only : string -> t
+(** [data] is [Null] — for reports with nothing structured to expose. *)
+
+(** Typed table builder: declare each column once (name + how to read its
+    value out of a row) and apply it to the row list. *)
+module Col : sig
+  type 'row t
+
+  val str : string -> ('row -> string) -> 'row t
+  val int : string -> ('row -> int) -> 'row t
+  val num : string -> ('row -> float) -> 'row t
+  val bool : string -> ('row -> bool) -> 'row t
+end
+
+val row : 'row Col.t list -> 'row -> Json.t
+(** One row as an object, keys in column order. *)
+
+val table : ?title:string -> 'row Col.t list -> 'row list -> Json.t
+(** Rows as an array of objects; with [?title], wrapped as
+    [{"title": ..., "rows": [...]}]. *)
+
+val points : ?x:string -> ?y:string -> (float * float) list -> Json.t
+(** Sample points as [{x, y}] objects (key names default to "x"/"y"). *)
+
+val series : ?x:string -> ?y:string -> Ppp_util.Series.t -> Json.t
+(** {!points} applied to a {!Ppp_util.Series.t}'s samples. *)

@@ -196,4 +196,29 @@ let render data =
       /. data.ip_parallel.per_core_pps)
       (data.syn_pipeline.per_core_pps /. data.syn_parallel.per_core_pps)
 
-let run ?params () = render (measure ?params ())
+let data_json data =
+  let open Output in
+  Json.Obj
+    [
+      ( "sides",
+        table
+          [
+            Col.str "configuration" (fun s -> s.label);
+            Col.int "cores" (fun s -> s.cores);
+            Col.num "throughput_pps" (fun s -> s.throughput_pps);
+            Col.num "per_core_pps" (fun s -> s.per_core_pps);
+            Col.num "l3_refs_per_packet" (fun s -> s.l3_refs_per_packet);
+            Col.num "l3_misses_per_packet" (fun s -> s.l3_misses_per_packet);
+          ]
+          [
+            data.ip_parallel;
+            data.ip_pipeline;
+            data.syn_parallel;
+            data.syn_pipeline;
+          ] );
+      ("extra_refs_per_packet", Json.Float data.extra_refs_per_packet);
+    ]
+
+let run ?params () =
+  let data = measure ?params () in
+  Output.make ~text:(render data) ~data:(data_json data)

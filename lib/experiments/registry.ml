@@ -2,7 +2,7 @@ type t = {
   id : string;
   title : string;
   paper_ref : string;
-  run : ?params:Ppp_core.Runner.params -> unit -> string;
+  run : ?params:Ppp_core.Runner.params -> unit -> Output.t;
 }
 
 let all =

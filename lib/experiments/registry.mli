@@ -5,7 +5,9 @@ type t = {
   id : string;  (** e.g. "table1", "fig4" *)
   title : string;
   paper_ref : string;
-  run : ?params:Ppp_core.Runner.params -> unit -> string;
+  run : ?params:Ppp_core.Runner.params -> unit -> Output.t;
+      (** [(run ()).text] is the report the goldens pin; [.data] the same
+          result as JSON (what [repro run --json] prints). *)
 }
 
 val all : t list

@@ -130,4 +130,19 @@ let render d =
       (d.attacker_throttled_refs /. 1e6)
       (d.attacker_throttled_refs <= d.attacker_refs_budget *. 1.02)
 
-let run ?params () = render (measure ?params ())
+let data_json d =
+  let open Output in
+  Json.Obj
+    [
+      ("victim_solo_pps", Json.Float d.victim_solo_pps);
+      ("victim_with_tame_pps", Json.Float d.victim_with_tame_pps);
+      ("victim_with_loud_pps", Json.Float d.victim_with_loud_pps);
+      ("victim_with_throttled_pps", Json.Float d.victim_with_throttled_pps);
+      ("attacker_refs_budget", Json.Float d.attacker_refs_budget);
+      ("attacker_loud_refs", Json.Float d.attacker_loud_refs);
+      ("attacker_throttled_refs", Json.Float d.attacker_throttled_refs);
+    ]
+
+let run ?params () =
+  let data = measure ?params () in
+  Output.make ~text:(render data) ~data:(data_json data)

@@ -12,7 +12,7 @@ type t = {
   mutable valid : int;
 }
 
-type slot = int (* index into the flat way arrays *)
+let none = -1
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -49,85 +49,93 @@ let line_of_addr t addr = addr lsr t.line_shift
 let set_of_line t line = line land (t.nsets - 1)
 let base t line = set_of_line t line * t.geo.ways
 
-let find_way t line =
+(* The simulator's innermost loop ends here: every replayed memory op probes
+   one to three of these way scans. Sentinel returns (no option box), unsafe
+   reads, and a flat while-loop (a local recursive function would cost a
+   closure per probe without flambda) keep the hit path allocation-free;
+   indices are in range by construction (base + w < nsets * ways). *)
+let[@inline] probe t line =
   let b = base t line in
-  let rec go w =
-    if w = t.geo.ways then None
-    else if t.tags.(b + w) = line then Some (b + w)
-    else go (w + 1)
-  in
-  go 0
+  let last = b + t.geo.ways - 1 in
+  let i = ref b in
+  while !i <= last && Array.unsafe_get t.tags !i <> line do incr i done;
+  if !i <= last then !i else none
 
-let touch t i =
+let[@inline] touch t i =
   t.tick <- t.tick + 1;
-  t.stamp.(i) <- t.tick
+  Array.unsafe_set t.stamp i t.tick
 
-let find t line =
-  match find_way t line with
-  | Some i ->
-      touch t i;
-      Some i
-  | None -> None
+let[@inline] find t line =
+  let i = probe t line in
+  if i >= 0 then touch t i;
+  i
 
-let probe = find_way
-let dirty t i = Bytes.get t.dirty_bits i <> '\000'
-let set_dirty t i d = Bytes.set t.dirty_bits i (if d then '\001' else '\000')
-let aux t i = t.auxs.(i)
-let set_aux t i v = t.auxs.(i) <- v
+let[@inline] dirty t i = Bytes.unsafe_get t.dirty_bits i <> '\000'
 
-type eviction = { victim_line : int; victim_dirty : bool; victim_aux : int }
+let[@inline] set_dirty t i d =
+  Bytes.unsafe_set t.dirty_bits i (if d then '\001' else '\000')
 
-let insert t ?(dirty = false) ?(aux = 0) line =
-  (match find_way t line with
-  | Some _ -> invalid_arg "Cache.insert: line already resident"
-  | None -> ());
+let[@inline] aux t i = Array.unsafe_get t.auxs i
+let[@inline] set_aux t i v = Array.unsafe_set t.auxs i v
+let[@inline] line t i = Array.unsafe_get t.tags i
+let[@inline] slot_valid t i = Array.unsafe_get t.tags i <> -1
+
+(* Two-step insert protocol: [victim_slot] picks the way [fill] will
+   overwrite — an invalid way if the set has one, else its LRU way — so the
+   caller reads the victim's line/dirty/aux in place and handles writeback
+   before filling. No eviction record is ever allocated. *)
+let victim_slot t line =
   let b = base t line in
-  (* Pick an invalid way, else the LRU way. *)
   let victim = ref (-1) in
   let lru = ref b in
+  let lru_stamp = ref (Array.unsafe_get t.stamp b) in
   for w = 0 to t.geo.ways - 1 do
     let i = b + w in
-    if t.tags.(i) = -1 && !victim = -1 then victim := i;
-    if t.stamp.(i) < t.stamp.(!lru) then lru := i
+    let tag = Array.unsafe_get t.tags i in
+    if tag = line then invalid_arg "Cache.victim_slot: line already resident";
+    if tag = -1 && !victim = -1 then victim := i;
+    let s = Array.unsafe_get t.stamp i in
+    if s < !lru_stamp then begin
+      lru := i;
+      lru_stamp := s
+    end
   done;
-  let i, evicted =
-    if !victim >= 0 then (!victim, None)
-    else
-      ( !lru,
-        Some
-          {
-            victim_line = t.tags.(!lru);
-            victim_dirty = Bytes.get t.dirty_bits !lru <> '\000';
-            victim_aux = t.auxs.(!lru);
-          } )
-  in
-  if evicted = None then t.valid <- t.valid + 1;
-  t.tags.(i) <- line;
-  set_dirty t i dirty;
-  t.auxs.(i) <- aux;
-  touch t i;
-  evicted
+  if !victim >= 0 then !victim else !lru
+
+let fill t ~slot ~dirty ~aux line =
+  if Array.unsafe_get t.tags slot = -1 then t.valid <- t.valid + 1;
+  Array.unsafe_set t.tags slot line;
+  set_dirty t slot dirty;
+  Array.unsafe_set t.auxs slot aux;
+  touch t slot
+
+let invalidate_slot t i =
+  if Array.unsafe_get t.tags i <> -1 then begin
+    Array.unsafe_set t.tags i (-1);
+    Array.unsafe_set t.stamp i 0;
+    set_dirty t i false;
+    Array.unsafe_set t.auxs i 0;
+    t.valid <- t.valid - 1
+  end
 
 let invalidate t line =
-  match find_way t line with
-  | None -> None
-  | Some i ->
-      let d = dirty t i and a = t.auxs.(i) in
-      t.tags.(i) <- -1;
-      t.stamp.(i) <- 0;
-      set_dirty t i false;
-      t.auxs.(i) <- 0;
-      t.valid <- t.valid - 1;
-      Some (d, a)
+  let i = probe t line in
+  if i >= 0 then begin
+    invalidate_slot t i;
+    true
+  end
+  else false
 
-let resident t line = find_way t line <> None
+let resident t line = probe t line >= 0
 let occupancy t = t.valid
 
-let iter_resident t f =
+let fold_resident t ~init f =
+  let acc = ref init in
   for i = 0 to Array.length t.tags - 1 do
     if t.tags.(i) <> -1 then
-      f t.tags.(i) ~dirty:(dirty t i) ~aux:t.auxs.(i)
-  done
+      acc := f !acc t.tags.(i) ~dirty:(dirty t i) ~aux:t.auxs.(i)
+  done;
+  !acc
 
 let clear t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

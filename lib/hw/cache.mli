@@ -4,7 +4,14 @@
     timing-directed; data lives in the instrumented OCaml structures). Each
     resident line carries an auxiliary integer usable by the owner: the
     shared L3 stores directory presence bits there, private caches store an
-    exclusivity flag. *)
+    exclusivity flag.
+
+    This is the innermost data structure of the simulator, so its lookup
+    surface is allocation-free by design: probes return a plain [int] slot
+    or the {!none} sentinel instead of an option, and insertion is a
+    two-step [victim_slot]/[fill] protocol instead of an eviction record.
+    Slots are transient handles — valid until the next [fill], [invalidate]
+    or [clear] on the same cache — and are meaningless across caches. *)
 
 type t
 
@@ -27,34 +34,60 @@ val lines : t -> int
 val line_of_addr : t -> int -> int
 (** The line (block) number an address falls in. *)
 
-type slot
-(** A handle on a resident line; valid until the next insert/invalidate. *)
+val none : int
+(** The miss sentinel ([-1]): {!find}/{!probe} return it when the line is
+    not resident. Every non-negative return is a valid slot. *)
 
-val find : t -> int -> slot option
-(** [find t line] probes for [line]; on a hit, promotes it to MRU. *)
+val find : t -> int -> int
+(** [find t line] probes for [line]; on a hit, promotes it to MRU and
+    returns its slot, else {!none}. Allocation-free. *)
 
-val probe : t -> int -> slot option
+val probe : t -> int -> int
 (** Like {!find} but without promoting LRU state (for directory snoops). *)
 
-val dirty : t -> slot -> bool
-val set_dirty : t -> slot -> bool -> unit
-val aux : t -> slot -> int
-val set_aux : t -> slot -> int -> unit
+val dirty : t -> int -> bool
+(** Slot accessors are unchecked: passing {!none} or a stale slot is a
+    programming error (reads/writes the wrong way's state). *)
 
-type eviction = { victim_line : int; victim_dirty : bool; victim_aux : int }
+val set_dirty : t -> int -> bool -> unit
+val aux : t -> int -> int
+val set_aux : t -> int -> int -> unit
 
-val insert : t -> ?dirty:bool -> ?aux:int -> int -> eviction option
-(** [insert t line] fills [line] as MRU, evicting the LRU way of its set if
-    the set is full. The line must not already be resident (checked). *)
+val line : t -> int -> int
+(** The line number resident in a slot ([-1] if the slot is empty) — how
+    the owner reads a victim's identity before {!fill} overwrites it. *)
 
-val invalidate : t -> int -> (bool * int) option
-(** [invalidate t line] removes [line] if resident, returning its final
-    (dirty, aux) state. *)
+val slot_valid : t -> int -> bool
+(** Whether the slot currently holds a line. *)
+
+val victim_slot : t -> int -> int
+(** [victim_slot t line] is the slot {!fill} should use to make [line]
+    resident: an invalid way of its set if one exists, else the set's LRU
+    way. The caller inspects the victim in place ({!slot_valid}, {!line},
+    {!dirty}, {!aux}) and performs any writeback before filling. [line]
+    must not already be resident (checked). *)
+
+val fill : t -> slot:int -> dirty:bool -> aux:int -> int -> unit
+(** [fill t ~slot ~dirty ~aux line] makes [line] resident in [slot] as MRU,
+    overwriting whatever the slot held. [slot] should come from
+    {!victim_slot} for [line] (same set; unchecked). *)
+
+val invalidate_slot : t -> int -> unit
+(** Empties a slot (no-op if already empty). *)
+
+val invalidate : t -> int -> bool
+(** [invalidate t line] removes [line]; [true] if it was resident. Callers
+    that need the victim's dirty/aux state probe first and read the slot
+    before invalidating it. *)
 
 val resident : t -> int -> bool
 
 val occupancy : t -> int
 (** Number of valid lines (for tests: never exceeds {!lines}). *)
 
-val iter_resident : t -> (int -> dirty:bool -> aux:int -> unit) -> unit
+val fold_resident :
+  t -> init:'a -> ('a -> int -> dirty:bool -> aux:int -> 'a) -> 'a
+(** Folds over resident lines in slot order (an internal, deterministic
+    order — not recency). *)
+
 val clear : t -> unit

@@ -52,29 +52,38 @@ let diff later earlier =
       Array.init Fn.max_tags (fun i -> later.fn_l3_misses.(i) - earlier.fn_l3_misses.(i));
   }
 
-let add_instructions t n = t.instructions <- t.instructions + n
+(* The add functions run once (or more) per simulated memory op, called
+   from the hierarchy's hit paths: [@inline] so the classic compiler can
+   inline them cross-module, and fn-indexed writes masked into range
+   (fn tags are 6-bit by construction) in place of two bounds checks. *)
+let[@inline] add_instructions t n = t.instructions <- t.instructions + n
 
-let add_l1_hit t fn =
+let[@inline] bump a fn =
+  let fn = fn land (Fn.max_tags - 1) in
+  Array.unsafe_set a fn (Array.unsafe_get a fn + 1)
+
+let[@inline] add_l1_hit t fn =
   t.l1_hits <- t.l1_hits + 1;
-  t.fn_refs.(fn) <- t.fn_refs.(fn) + 1
+  bump t.fn_refs fn
 
-let add_l2_hit t fn =
+let[@inline] add_l2_hit t fn =
   t.l2_hits <- t.l2_hits + 1;
-  t.fn_refs.(fn) <- t.fn_refs.(fn) + 1
+  bump t.fn_refs fn
 
-let add_l3_hit t fn =
+let[@inline] add_l3_hit t fn =
   t.l3_hits <- t.l3_hits + 1;
-  t.fn_refs.(fn) <- t.fn_refs.(fn) + 1;
-  t.fn_l3_hits.(fn) <- t.fn_l3_hits.(fn) + 1
+  bump t.fn_refs fn;
+  bump t.fn_l3_hits fn
 
-let add_l3_miss t fn =
+let[@inline] add_l3_miss t fn =
   t.l3_misses <- t.l3_misses + 1;
-  t.fn_refs.(fn) <- t.fn_refs.(fn) + 1;
-  t.fn_l3_misses.(fn) <- t.fn_l3_misses.(fn) + 1
+  bump t.fn_refs fn;
+  bump t.fn_l3_misses fn
 
-let add_read t = t.reads <- t.reads + 1
-let add_write t = t.writes <- t.writes + 1
-let add_packet t = t.packets <- t.packets + 1
+let[@inline] add_read t = t.reads <- t.reads + 1
+let[@inline] add_write t = t.writes <- t.writes + 1
+let[@inline] add_packet t = t.packets <- t.packets + 1
+let[@inline] add_packets t n = t.packets <- t.packets + n
 
 let instructions t = t.instructions
 let l1_hits t = t.l1_hits

@@ -27,6 +27,10 @@ val add_read : t -> unit
 val add_write : t -> unit
 val add_packet : t -> unit
 
+val add_packets : t -> int -> unit
+(** Batched {!add_packet}: how the engine flushes its hoisted per-core
+    packet count at slice boundaries. *)
+
 (* Readout. *)
 val instructions : t -> int
 val l1_hits : t -> int

@@ -24,34 +24,67 @@ type result = {
   l3_refs_per_sec : float;
   l3_hits_per_sec : float;
   latency : Ppp_util.Histogram.t;
+  engine_ops : int;
 }
 
 type core_state = {
   flow : flow;
+  idx : int; (* position in the input flow list; the heap tie-breaker *)
+  core : int; (* flow.core, cached to spare an indirection per memory op *)
+  ctr : Counters.t; (* the core's live counters, resolved once *)
   mutable time : int;
   mutable trace : Trace.t;
+  mutable len : int; (* Trace.length trace, cached for the per-op test *)
   mutable is_packet : bool;
   mutable pos : int;
   mutable pkt_start : int;
   mutable packets_done : int;
+  mutable ops_done : int;
+  (* Counter bumps owned by the engine, hoisted out of the per-op path.
+     They flush into [ctr] whenever the counters become observable: before
+     any snapshot copy and before any source call (control elements read
+     their own live counters to measure their rate). *)
+  mutable pend_instr : int;
+  mutable pend_packets : int;
   latency : Ppp_util.Histogram.t;
-  (* Window snapshots. *)
+  (* Window snapshots. The [warm_done]/[end_done]/[sampling] flags mirror
+     the option fields: [snapshot] runs after every op, and gating it on
+     booleans instead of polymorphic [= None] compares keeps two C calls
+     out of the per-op path. *)
+  mutable warm_done : bool;
   mutable warm_time : int;
   mutable warm_packets : int;
   mutable warm_counters : Counters.t option;
+  mutable end_done : bool;
   mutable end_time : int;
   mutable end_packets : int;
   mutable end_counters : Counters.t option;
   (* Time-sliced sampling (active only under a probe, between the warm and
      end snapshots). *)
+  mutable sampling : bool;
   mutable samp_time : int;
   mutable samp_packets : int;
   mutable samp_counters : Counters.t option;
   mutable samp_next : int;
   mutable samp_latency : Ppp_util.Histogram.t;
+  (* The earliest simulated time at which [snapshot] could have any effect
+     — the next pending boundary. Stepping compares against this single
+     field instead of re-evaluating the three boundary conditions per op. *)
+  mutable next_check : int;
 }
 
+let flush st =
+  if st.pend_instr > 0 then begin
+    Counters.add_instructions st.ctr st.pend_instr;
+    st.pend_instr <- 0
+  end;
+  if st.pend_packets > 0 then begin
+    Counters.add_packets st.ctr st.pend_packets;
+    st.pend_packets <- 0
+  end
+
 let fetch st =
+  flush st;
   let item = st.flow.source st.time in
   let trace, is_packet =
     match item with Packet t -> (t, true) | Idle t -> (t, false)
@@ -59,6 +92,7 @@ let fetch st =
   if Trace.length trace = 0 then
     invalid_arg "Engine: source returned an empty trace";
   st.trace <- trace;
+  st.len <- Trace.length trace;
   st.is_packet <- is_packet;
   if is_packet then st.pkt_start <- st.time;
   st.pos <- 0
@@ -78,29 +112,40 @@ let run ?probe hier ~flows ~warmup_cycles ~measure_cycles =
     flows;
   let costs = Hierarchy.costs hier in
   let states =
-    List.map
-      (fun (flow : flow) ->
+    List.mapi
+      (fun idx (flow : flow) ->
         let st =
           {
             flow;
+            idx;
+            core = flow.core;
+            ctr = Hierarchy.counters hier flow.core;
             time = 0;
             trace = Trace.empty;
+            len = 0;
             is_packet = false;
             pos = 0;
             pkt_start = 0;
             packets_done = 0;
+            ops_done = 0;
+            pend_instr = 0;
+            pend_packets = 0;
             latency = Ppp_util.Histogram.create ();
+            warm_done = false;
             warm_time = 0;
             warm_packets = 0;
             warm_counters = None;
+            end_done = false;
             end_time = 0;
             end_packets = 0;
             end_counters = None;
+            sampling = false;
             samp_time = 0;
             samp_packets = 0;
             samp_counters = None;
             samp_next = max_int;
             samp_latency = Ppp_util.Histogram.create ();
+            next_check = 0;
           }
         in
         fetch st;
@@ -141,90 +186,144 @@ let run ?probe hier ~flows ~warmup_cycles ~measure_cycles =
     | _ -> ()
   in
   let snapshot st =
-    if st.warm_counters = None && st.time >= warmup_cycles then begin
+    if (not st.warm_done) && st.time >= warmup_cycles then begin
+      st.warm_done <- true;
       st.warm_time <- st.time;
       st.warm_packets <- st.packets_done;
-      let c = Counters.copy (Hierarchy.counters hier st.flow.core) in
+      flush st;
+      let c = Counters.copy st.ctr in
       st.warm_counters <- Some c;
       match probe with
       | Some _ ->
+          st.sampling <- true;
           st.samp_time <- st.warm_time;
           st.samp_packets <- st.warm_packets;
           st.samp_counters <- Some c;
           st.samp_next <- grid_next st.warm_time
       | None -> ()
     end;
-    if st.end_counters = None && st.time >= window_end then begin
+    if (not st.end_done) && st.time >= window_end then begin
+      st.end_done <- true;
       st.end_time <- st.time;
       st.end_packets <- st.packets_done;
-      let c = Counters.copy (Hierarchy.counters hier st.flow.core) in
+      flush st;
+      let c = Counters.copy st.ctr in
       st.end_counters <- Some c;
       (* Close the trailing partial slice at the window end and stop. *)
       emit st ~t_end:st.end_time c;
+      st.sampling <- false;
       st.samp_counters <- None
     end
-    else if
-      st.end_counters = None
-      && (match st.samp_counters with Some _ -> true | None -> false)
-      && st.time >= st.samp_next
-    then begin
-      emit st ~t_end:st.time
-        (Counters.copy (Hierarchy.counters hier st.flow.core));
+    else if (not st.end_done) && st.sampling && st.time >= st.samp_next then begin
+      flush st;
+      emit st ~t_end:st.time (Counters.copy st.ctr);
       st.samp_next <- grid_next st.time
-    end
+    end;
+    st.next_check <-
+      (if not st.warm_done then warmup_cycles
+       else if st.end_done then max_int
+       else if st.sampling && st.samp_next < window_end then st.samp_next
+       else window_end)
   in
+  (* One trace operation, decoded straight from the packed word: no variant
+     construction, no repeated trace indexing, no allocation. The snapshot
+     call at the end is the only non-arithmetic work on the common path,
+     and it reduces to three cheap comparisons between boundaries. *)
   let step st =
-    let k = Trace.kind st.trace st.pos in
-    let fn = Trace.fn st.trace st.pos in
-    let payload = Trace.payload st.trace st.pos in
-    (match k with
-    | Trace.Compute ->
-        let ctr = Hierarchy.counters hier st.flow.core in
-        Counters.add_instructions ctr payload;
-        let cycles =
-          max 1 (int_of_float (float_of_int payload *. costs.Costs.compute_cpi))
-        in
-        st.time <- st.time + cycles
-    | Trace.Stall -> st.time <- st.time + payload
-    | Trace.Dma -> Hierarchy.dma_write hier ~addr:payload ~now:st.time
-    | Trace.Read | Trace.Write ->
-        let lat =
-          Hierarchy.access hier ~core:st.flow.core
-            ~write:(k = Trace.Write) ~fn ~addr:payload ~now:st.time
-        in
-        st.time <- st.time + lat);
+    st.ops_done <- st.ops_done + 1;
+    let w = Trace.raw st.trace st.pos in
+    let kc = Trace.raw_kind w in
+    if kc = Trace.k_read || kc = Trace.k_write then begin
+      let lat =
+        Hierarchy.access hier ~core:st.core ~write:(kc = Trace.k_write)
+          ~fn:(Trace.raw_fn w) ~addr:(Trace.raw_payload w) ~now:st.time
+      in
+      st.time <- st.time + lat
+    end
+    else if kc = Trace.k_compute then begin
+      let payload = Trace.raw_payload w in
+      st.pend_instr <- st.pend_instr + payload;
+      st.time <-
+        st.time
+        + max 1 (int_of_float (float_of_int payload *. costs.Costs.compute_cpi))
+    end
+    else if kc = Trace.k_stall then st.time <- st.time + Trace.raw_payload w
+    else Hierarchy.dma_write hier ~addr:(Trace.raw_payload w) ~now:st.time;
     st.pos <- st.pos + 1;
-    if st.pos >= Trace.length st.trace then begin
+    if st.pos >= st.len then begin
       if st.is_packet then begin
         st.packets_done <- st.packets_done + 1;
-        Counters.add_packet (Hierarchy.counters hier st.flow.core);
+        st.pend_packets <- st.pend_packets + 1;
         (* Latency tracked for packets completing inside the window. *)
-        if st.warm_counters <> None && st.end_counters = None then begin
+        if st.warm_done && not st.end_done then begin
           Ppp_util.Histogram.record st.latency (st.time - st.pkt_start);
-          match st.samp_counters with
-          | Some _ ->
-              (* The packet belongs to the slice that closes at or after
-                 this completion time. *)
-              Ppp_util.Histogram.record st.samp_latency
-                (st.time - st.pkt_start)
-          | None -> ()
+          (* The packet belongs to the slice that closes at or after this
+             completion time. *)
+          if st.sampling then
+            Ppp_util.Histogram.record st.samp_latency (st.time - st.pkt_start)
         end
       end;
-      snapshot st;
+      if st.time >= st.next_check then snapshot st;
       fetch st
     end
-    else snapshot st
+    else if st.time >= st.next_check then snapshot st
   in
+  (* Scheduling: an indexed binary min-heap over core states, keyed on
+     (local time, input index). The root is exactly what the old O(cores)
+     scan picked — the lowest-index core among those with minimal time —
+     so replay order, and with it every golden snapshot, is unchanged.
+     Stepping only ever grows the root's key, so one sift-down per op
+     restores the invariant: O(log cores) against the scan's O(cores). *)
+  let heap = Array.copy states in
+  (* Flat loop, not a local recursive function: without flambda a local
+     [rec go] capturing the sifted element costs a closure per call — one
+     allocation per engine op, by far the hot path's largest. Non-escaping
+     refs unbox, and the (time, idx) order is compared inline rather than
+     through a closure. Indices stay below [n] by construction. *)
+  let sift_down i0 =
+    let x = heap.(i0) in
+    let xt = x.time and xi = x.idx in
+    let i = ref i0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l < n then begin
+        let c =
+          if l + 1 < n then begin
+            let a = Array.unsafe_get heap (l + 1)
+            and b = Array.unsafe_get heap l in
+            if a.time < b.time || (a.time = b.time && a.idx < b.idx) then l + 1
+            else l
+          end
+          else l
+        in
+        let cs = Array.unsafe_get heap c in
+        if cs.time < xt || (cs.time = xt && cs.idx < xi) then begin
+          Array.unsafe_set heap !i cs;
+          i := c
+        end
+        else begin
+          Array.unsafe_set heap !i x;
+          continue := false
+        end
+      end
+      else begin
+        Array.unsafe_set heap !i x;
+        continue := false
+      end
+    done
+  in
+  for i = (n / 2) - 1 downto 0 do
+    sift_down i
+  done;
   (* Advance the globally least-advanced core until every core has crossed
-     the window end. *)
+     the window end (the root is the global minimum, so when it crosses,
+     all have). *)
   let rec loop () =
-    let min_i = ref 0 in
-    for i = 1 to n - 1 do
-      if states.(i).time < states.(!min_i).time then min_i := i
-    done;
-    let st = states.(!min_i) in
+    let st = Array.unsafe_get heap 0 in
     if st.time < window_end then begin
       step st;
+      sift_down 0;
       loop ()
     end
   in
@@ -256,5 +355,6 @@ let run ?probe hier ~flows ~warmup_cycles ~measure_cycles =
            l3_refs_per_sec = float_of_int (Counters.l3_refs ctr) /. seconds;
            l3_hits_per_sec = float_of_int (Counters.l3_hits ctr) /. seconds;
            latency = st.latency;
+           engine_ops = st.ops_done;
          })
        states)

@@ -65,6 +65,10 @@ type result = {
   latency : Ppp_util.Histogram.t;
       (** per-packet processing latency (cycles), packets completed within
           the window *)
+  engine_ops : int;
+      (** trace operations the engine replayed for this core over the whole
+          run, warmup included — the simulator's own work, used by the bench
+          perf gate to report replay throughput (ops/sec) *)
 }
 
 val run :

@@ -9,6 +9,10 @@ type t = {
   memctrls : Memctrl.t array; (* per node *)
   counters : Counters.t array; (* per core *)
   miss_streak : bool array; (* per core: previous access was a DRAM miss *)
+  (* Topology.socket_of_core / local_index, precomputed per core: the
+     topology functions divide (and bounds-check) on every miss-path call. *)
+  socket_of : int array;
+  local_ix : int array;
 }
 
 (* Private-cache aux: bit 0 set when the core holds the line exclusively
@@ -30,6 +34,8 @@ let create topo costs geo =
           Memctrl.create ~service_cycles:costs.Costs.mc_service);
     counters = Array.init cores (fun _ -> Counters.create ());
     miss_streak = Array.make cores false;
+    socket_of = Array.init cores (fun c -> Topology.socket_of_core topo c);
+    local_ix = Array.init cores (fun c -> Topology.local_index topo c);
   }
 
 let topology t = t.topo
@@ -40,232 +46,267 @@ let counters t core = t.counters.(core)
    if violated, fall back to a posted memory write-back). *)
 let writeback_to_l3 t ~socket ~line ~now =
   let l3 = t.l3s.(socket) in
-  match Cache.probe l3 line with
-  | Some slot -> Cache.set_dirty l3 slot true
-  | None ->
-      (* Inclusion should make this unreachable; keep the model safe anyway. *)
-      let node = Topology.node_of_addr (line * (Cache.geometry l3).Cache.line_bytes) in
-      Memctrl.writeback t.memctrls.(min node (Array.length t.memctrls - 1)) ~now
+  let slot = Cache.probe l3 line in
+  if slot >= 0 then Cache.set_dirty l3 slot true
+  else begin
+    (* Inclusion should make this unreachable; keep the model safe anyway. *)
+    let node = Topology.node_of_addr (line * (Cache.geometry l3).Cache.line_bytes) in
+    Memctrl.writeback t.memctrls.(min node (Array.length t.memctrls - 1)) ~now
+  end
 
-(* Insert [line] into a private cache, cascading dirty victims downwards. *)
+(* Insert [line] into a private cache, cascading dirty victims downwards.
+   Victims are read in place through the two-step victim_slot/fill protocol
+   — the victim's identity and dirtiness live in the slot until [fill]
+   overwrites them, so no eviction record exists. Victim handling only
+   touches *lower* levels, so doing it before the fill is state-identical
+   to the old insert-then-handle order. *)
 let fill_private t ~core ~socket ~line ~exclusive ~dirty ~now =
   let aux = if exclusive then excl else 0 in
   let l2 = t.l2s.(core) in
-  (match Cache.insert l2 ~dirty:false ~aux line with
-  | Some { Cache.victim_line; victim_dirty; _ } when victim_dirty ->
-      writeback_to_l3 t ~socket ~line:victim_line ~now
-  | Some _ | None -> ());
+  let s2 = Cache.victim_slot l2 line in
+  if Cache.slot_valid l2 s2 && Cache.dirty l2 s2 then
+    writeback_to_l3 t ~socket ~line:(Cache.line l2 s2) ~now;
+  Cache.fill l2 ~slot:s2 ~dirty:false ~aux line;
   let l1 = t.l1s.(core) in
-  match Cache.insert l1 ~dirty ~aux line with
-  | Some { Cache.victim_line; victim_dirty; _ } when victim_dirty -> (
-      (* L1 victim descends into L2 (non-inclusive L2, as on Westmere). *)
-      match Cache.find l2 victim_line with
-      | Some slot -> Cache.set_dirty l2 slot true
-      | None -> (
-          match Cache.insert l2 ~dirty:true ~aux:0 victim_line with
-          | Some { Cache.victim_line = v2; victim_dirty = d2; _ } when d2 ->
-              writeback_to_l3 t ~socket ~line:v2 ~now
-          | Some _ | None -> ()))
-  | Some _ | None -> ()
+  let s1 = Cache.victim_slot l1 line in
+  if Cache.slot_valid l1 s1 && Cache.dirty l1 s1 then begin
+    (* L1 victim descends into L2 (non-inclusive L2, as on Westmere). *)
+    let victim_line = Cache.line l1 s1 in
+    let sv = Cache.find l2 victim_line in
+    if sv >= 0 then Cache.set_dirty l2 sv true
+    else begin
+      let sv = Cache.victim_slot l2 victim_line in
+      if Cache.slot_valid l2 sv && Cache.dirty l2 sv then
+        writeback_to_l3 t ~socket ~line:(Cache.line l2 sv) ~now;
+      Cache.fill l2 ~slot:sv ~dirty:true ~aux:0 victim_line
+    end
+  end;
+  Cache.fill l1 ~slot:s1 ~dirty ~aux line
 
-(* Remove a line from a core's private caches; true if a dirty copy existed. *)
+(* Remove a line from a core's private caches; true if a dirty copy existed.
+   The snoop helpers below are written as flat loops over the directory
+   bits — closure-per-snoop (the old iter_holders shape) was a measurable
+   share of the contended workload's allocation. *)
 let invalidate_private t ~core ~line =
-  let d1 = match Cache.invalidate t.l1s.(core) line with
-    | Some (dirty, _) -> dirty
-    | None -> false
-  in
-  let d2 = match Cache.invalidate t.l2s.(core) line with
-    | Some (dirty, _) -> dirty
-    | None -> false
-  in
+  let l1 = t.l1s.(core) in
+  let s1 = Cache.probe l1 line in
+  let d1 = s1 >= 0 && Cache.dirty l1 s1 in
+  if s1 >= 0 then Cache.invalidate_slot l1 s1;
+  let l2 = t.l2s.(core) in
+  let s2 = Cache.probe l2 line in
+  let d2 = s2 >= 0 && Cache.dirty l2 s2 in
+  if s2 >= 0 then Cache.invalidate_slot l2 s2;
   d1 || d2
 
-let iter_holders t ~socket ~bits ~excluding f =
+(* Invalidate every holder of [line] per directory [bits] except
+   [excluding] (a local index; -1 for none); returns true if any dirty copy
+   was found (its data is merged into the L3). *)
+let invalidate_holders t ~socket ~bits ~excluding ~line =
   let base_core = socket * t.topo.Topology.cores_per_socket in
-  for li = 0 to t.topo.Topology.cores_per_socket - 1 do
-    if li <> excluding && bits land (1 lsl li) <> 0 then f (base_core + li)
-  done
-
-(* Invalidate every other holder of [line] per directory [bits]; returns true
-   if any dirty copy was found (its data is merged into the L3). *)
-let invalidate_other_holders t ~socket ~bits ~self_li ~line =
   let found_dirty = ref false in
-  iter_holders t ~socket ~bits ~excluding:self_li (fun core ->
-      if invalidate_private t ~core ~line then found_dirty := true);
+  for li = 0 to t.topo.Topology.cores_per_socket - 1 do
+    if li <> excluding && bits land (1 lsl li) <> 0 then
+      if invalidate_private t ~core:(base_core + li) ~line then
+        found_dirty := true
+  done;
   !found_dirty
+
+let invalidate_other_holders t ~socket ~bits ~self_li ~line =
+  invalidate_holders t ~socket ~bits ~excluding:self_li ~line
 
 (* Downgrade other holders for a read: dirty copies are flushed to L3 and
    lose exclusivity, but stay resident. *)
 let downgrade_other_holders t ~socket ~bits ~self_li ~line =
+  let base_core = socket * t.topo.Topology.cores_per_socket in
   let found_dirty = ref false in
-  iter_holders t ~socket ~bits ~excluding:self_li (fun core ->
-      let demote cache =
-        match Cache.probe cache line with
-        | Some slot ->
-            if Cache.dirty cache slot then found_dirty := true;
-            Cache.set_dirty cache slot false;
-            Cache.set_aux cache slot 0
-        | None -> ()
-      in
-      demote t.l1s.(core);
-      demote t.l2s.(core));
+  for li = 0 to t.topo.Topology.cores_per_socket - 1 do
+    if li <> self_li && bits land (1 lsl li) <> 0 then begin
+      let core = base_core + li in
+      let l1 = t.l1s.(core) in
+      let s1 = Cache.probe l1 line in
+      if s1 >= 0 then begin
+        if Cache.dirty l1 s1 then found_dirty := true;
+        Cache.set_dirty l1 s1 false;
+        Cache.set_aux l1 s1 0
+      end;
+      let l2 = t.l2s.(core) in
+      let s2 = Cache.probe l2 line in
+      if s2 >= 0 then begin
+        if Cache.dirty l2 s2 then found_dirty := true;
+        Cache.set_dirty l2 s2 false;
+        Cache.set_aux l2 s2 0
+      end
+    end
+  done;
   !found_dirty
 
 (* Ensure exclusivity before a write that hit a non-exclusive private line:
    one round trip to the directory, invalidating peer copies. *)
 let upgrade t ~socket ~self_li ~line =
   let l3 = t.l3s.(socket) in
-  (match Cache.probe l3 line with
-  | Some slot ->
-      let bits = Cache.aux l3 slot in
-      let self = 1 lsl self_li in
-      if invalidate_other_holders t ~socket ~bits ~self_li ~line then
-        Cache.set_dirty l3 slot true;
-      Cache.set_aux l3 slot self
-  | None -> ());
+  let slot = Cache.probe l3 line in
+  if slot >= 0 then begin
+    let bits = Cache.aux l3 slot in
+    let self = 1 lsl self_li in
+    if invalidate_other_holders t ~socket ~bits ~self_li ~line then
+      Cache.set_dirty l3 slot true;
+    Cache.set_aux l3 slot self
+  end;
   t.costs.Costs.upgrade_lat
 
 let mark_exclusive cache line =
-  match Cache.probe cache line with
-  | Some slot -> Cache.set_aux cache slot excl
-  | None -> ()
+  let slot = Cache.probe cache line in
+  if slot >= 0 then Cache.set_aux cache slot excl
 
 let access t ~core ~write ~fn ~addr ~now =
   let costs = t.costs in
-  let socket = Topology.socket_of_core t.topo core in
-  let self_li = Topology.local_index t.topo core in
-  let self = 1 lsl self_li in
-  let ctr = t.counters.(core) in
+  let ctr = Array.unsafe_get t.counters core in
   if write then Counters.add_write ctr else Counters.add_read ctr;
   Counters.add_instructions ctr 1;
-  let l1 = t.l1s.(core) in
+  let l1 = Array.unsafe_get t.l1s core in
   let line = Cache.line_of_addr l1 addr in
-  match Cache.find l1 line with
-  | Some slot ->
-      (* L1 hit. *)
+  let slot = Cache.find l1 line in
+  if slot >= 0 then begin
+    (* L1 hit — the simulator's common case; nothing here may allocate. *)
+    Array.unsafe_set t.miss_streak core false;
+    Counters.add_l1_hit ctr fn;
+    if write then begin
+      if Cache.aux l1 slot land excl = 0 then begin
+        let socket = Array.unsafe_get t.socket_of core in
+        let self_li = Array.unsafe_get t.local_ix core in
+        let lat = upgrade t ~socket ~self_li ~line in
+        Cache.set_aux l1 slot excl;
+        mark_exclusive t.l2s.(core) line;
+        Cache.set_dirty l1 slot true;
+        costs.Costs.l1_lat + lat
+      end
+      else begin
+        Cache.set_dirty l1 slot true;
+        costs.Costs.l1_lat
+      end
+    end
+    else costs.Costs.l1_lat
+  end
+  else begin
+    let socket = Array.unsafe_get t.socket_of core in
+    let self_li = Array.unsafe_get t.local_ix core in
+    let self = 1 lsl self_li in
+    let l2 = t.l2s.(core) in
+    let slot = Cache.find l2 line in
+    if slot >= 0 then begin
+      (* L2 hit: refill L1. *)
       t.miss_streak.(core) <- false;
-      Counters.add_l1_hit ctr fn;
+      Counters.add_l2_hit ctr fn;
+      let exclusive = Cache.aux l2 slot land excl <> 0 in
       let extra =
-        if write && Cache.aux l1 slot land excl = 0 then begin
-          let lat = upgrade t ~socket ~self_li ~line in
-          Cache.set_aux l1 slot excl;
-          mark_exclusive t.l2s.(core) line;
-          lat
-        end
-        else 0
+        if write && not exclusive then upgrade t ~socket ~self_li ~line else 0
       in
-      if write then Cache.set_dirty l1 slot true;
-      costs.Costs.l1_lat + extra
-  | None -> (
-      let l2 = t.l2s.(core) in
-      match Cache.find l2 line with
-      | Some slot ->
-          (* L2 hit: refill L1. *)
-          t.miss_streak.(core) <- false;
-          Counters.add_l2_hit ctr fn;
-          let exclusive = Cache.aux l2 slot land excl <> 0 in
-          let extra =
-            if write && not exclusive then upgrade t ~socket ~self_li ~line
-            else 0
+      let exclusive = exclusive || write in
+      let dirty_in_l2 = Cache.dirty l2 slot in
+      Cache.invalidate_slot l2 slot;
+      (* Move up to L1 (keeping dirtiness); L2 copy dropped to avoid
+         double-tracking dirtiness across the two private levels. *)
+      fill_private t ~core ~socket ~line ~exclusive
+        ~dirty:(dirty_in_l2 || write) ~now;
+      costs.Costs.l2_lat + extra
+    end
+    else begin
+      let l3 = t.l3s.(socket) in
+      let slot = Cache.find l3 line in
+      if slot >= 0 then begin
+        (* L3 hit. *)
+        t.miss_streak.(core) <- false;
+        Counters.add_l3_hit ctr fn;
+        let bits = Cache.aux l3 slot in
+        let others = bits land lnot self in
+        let snoop_cost = ref 0 in
+        if others <> 0 then
+          if write then begin
+            if invalidate_other_holders t ~socket ~bits ~self_li ~line then
+              Cache.set_dirty l3 slot true;
+            Cache.set_aux l3 slot self;
+            snoop_cost := costs.Costs.upgrade_lat
+          end
+          else begin
+            if downgrade_other_holders t ~socket ~bits ~self_li ~line then begin
+              Cache.set_dirty l3 slot true;
+              snoop_cost := costs.Costs.c2c_lat
+            end;
+            Cache.set_aux l3 slot (bits lor self)
+          end
+        else Cache.set_aux l3 slot (bits lor self);
+        let exclusive = Cache.aux l3 slot = self in
+        fill_private t ~core ~socket ~line ~exclusive ~dirty:write ~now;
+        costs.Costs.l3_lat + !snoop_cost
+      end
+      else begin
+        (* L3 miss: go to the home node's memory controller. *)
+        Counters.add_l3_miss ctr fn;
+        let node = Topology.node_of_addr addr in
+        let remote = node <> socket && node < Array.length t.memctrls in
+        let mc =
+          if node < Array.length t.memctrls then t.memctrls.(node)
+          else t.memctrls.(socket)
+        in
+        let queue_wait = Memctrl.demand_access mc ~now in
+        (* Back-to-back misses overlap on an out-of-order core: only
+           1/mlp of the DRAM latency is exposed past the first. *)
+        let dram_exposed =
+          if t.miss_streak.(core) && costs.Costs.mlp > 1 then
+            costs.Costs.dram_lat / costs.Costs.mlp
+          else costs.Costs.dram_lat
+        in
+        t.miss_streak.(core) <- true;
+        (* Fill L3; inclusion: back-invalidate private copies of the victim
+           across the socket. Victim state is read in place before the fill
+           overwrites the slot. *)
+        let vs = Cache.victim_slot l3 line in
+        if Cache.slot_valid l3 vs then begin
+          let victim_line = Cache.line l3 vs in
+          let victim_dirty = Cache.dirty l3 vs in
+          let victim_aux = Cache.aux l3 vs in
+          let priv_dirty =
+            invalidate_holders t ~socket ~bits:victim_aux ~excluding:(-1)
+              ~line:victim_line
           in
-          let exclusive = exclusive || write in
-          let dirty_in_l2 = Cache.dirty l2 slot in
-          ignore
-            (Cache.invalidate l2 line : (bool * int) option);
-          (* Move up to L1 (keeping dirtiness); L2 copy dropped to avoid
-             double-tracking dirtiness across the two private levels. *)
-          fill_private t ~core ~socket ~line ~exclusive
-            ~dirty:(dirty_in_l2 || write) ~now;
-          costs.Costs.l2_lat + extra
-      | None -> (
-          let l3 = t.l3s.(socket) in
-          match Cache.find l3 line with
-          | Some slot ->
-              (* L3 hit. *)
-              t.miss_streak.(core) <- false;
-              Counters.add_l3_hit ctr fn;
-              let bits = Cache.aux l3 slot in
-              let others = bits land lnot self in
-              let snoop_cost = ref 0 in
-              if others <> 0 then
-                if write then begin
-                  if invalidate_other_holders t ~socket ~bits ~self_li ~line
-                  then Cache.set_dirty l3 slot true;
-                  Cache.set_aux l3 slot self;
-                  snoop_cost := costs.Costs.upgrade_lat
-                end
-                else begin
-                  if downgrade_other_holders t ~socket ~bits ~self_li ~line
-                  then begin
-                    Cache.set_dirty l3 slot true;
-                    snoop_cost := costs.Costs.c2c_lat
-                  end;
-                  Cache.set_aux l3 slot (bits lor self)
-                end
-              else Cache.set_aux l3 slot (bits lor self);
-              let exclusive = Cache.aux l3 slot = self in
-              fill_private t ~core ~socket ~line ~exclusive ~dirty:write ~now;
-              costs.Costs.l3_lat + !snoop_cost
-          | None ->
-              (* L3 miss: go to the home node's memory controller. *)
-              Counters.add_l3_miss ctr fn;
-              let node = Topology.node_of_addr addr in
-              let remote = node <> socket && node < Array.length t.memctrls in
-              let mc =
-                if node < Array.length t.memctrls then t.memctrls.(node)
-                else t.memctrls.(socket)
-              in
-              let queue_wait = Memctrl.demand_access mc ~now in
-              (* Back-to-back misses overlap on an out-of-order core: only
-                 1/mlp of the DRAM latency is exposed past the first. *)
-              let dram_exposed =
-                if t.miss_streak.(core) && costs.Costs.mlp > 1 then
-                  costs.Costs.dram_lat / costs.Costs.mlp
-                else costs.Costs.dram_lat
-              in
-              t.miss_streak.(core) <- true;
-              (* Fill L3; inclusion: back-invalidate private copies of the
-                 victim across the socket. *)
-              (match Cache.insert l3 ~dirty:write ~aux:self line with
-              | Some { Cache.victim_line; victim_dirty; victim_aux } ->
-                  let priv_dirty = ref false in
-                  iter_holders t ~socket ~bits:victim_aux ~excluding:(-1)
-                    (fun c ->
-                      if invalidate_private t ~core:c ~line:victim_line then
-                        priv_dirty := true);
-                  if victim_dirty || !priv_dirty then begin
-                    let vnode =
-                      let vaddr = victim_line * Cache.(geometry l3).line_bytes in
-                      Topology.node_of_addr vaddr
-                    in
-                    let vmc =
-                      if vnode < Array.length t.memctrls then
-                        t.memctrls.(vnode)
-                      else mc
-                    in
-                    Memctrl.writeback vmc ~now
-                  end
-              | None -> ());
-              fill_private t ~core ~socket ~line ~exclusive:true ~dirty:write
-                ~now;
-              costs.Costs.l3_lat + dram_exposed + queue_wait
-              + (if remote then costs.Costs.qpi_lat else 0)))
+          if victim_dirty || priv_dirty then begin
+            let vnode =
+              let vaddr = victim_line * Cache.(geometry l3).line_bytes in
+              Topology.node_of_addr vaddr
+            in
+            let vmc =
+              if vnode < Array.length t.memctrls then t.memctrls.(vnode)
+              else mc
+            in
+            Memctrl.writeback vmc ~now
+          end
+        end;
+        Cache.fill l3 ~slot:vs ~dirty:write ~aux:self line;
+        fill_private t ~core ~socket ~line ~exclusive:true ~dirty:write ~now;
+        costs.Costs.l3_lat + dram_exposed + queue_wait
+        + (if remote then costs.Costs.qpi_lat else 0)
+      end
+    end
+  end
 
 let dma_write t ~addr ~now =
   let line = Cache.line_of_addr t.l1s.(0) addr in
-  Array.iteri
-    (fun socket l3 ->
-      match Cache.invalidate l3 line with
-      | Some (_, bits) ->
-          iter_holders t ~socket ~bits ~excluding:(-1) (fun core ->
-              ignore (invalidate_private t ~core ~line : bool))
-      | None ->
-          (* Directory is conservative; sweep private caches anyway. *)
-          let base = socket * t.topo.Topology.cores_per_socket in
-          for li = 0 to t.topo.Topology.cores_per_socket - 1 do
-            ignore (invalidate_private t ~core:(base + li) ~line : bool)
-          done)
-    t.l3s;
+  for socket = 0 to Array.length t.l3s - 1 do
+    let l3 = t.l3s.(socket) in
+    let slot = Cache.probe l3 line in
+    if slot >= 0 then begin
+      let bits = Cache.aux l3 slot in
+      Cache.invalidate_slot l3 slot;
+      ignore (invalidate_holders t ~socket ~bits ~excluding:(-1) ~line : bool)
+    end
+    else begin
+      (* Directory is conservative; sweep private caches anyway. *)
+      let base = socket * t.topo.Topology.cores_per_socket in
+      for li = 0 to t.topo.Topology.cores_per_socket - 1 do
+        ignore (invalidate_private t ~core:(base + li) ~line : bool)
+      done
+    end
+  done;
   let node = Topology.node_of_addr addr in
   let mc =
     if node < Array.length t.memctrls then t.memctrls.(node) else t.memctrls.(0)
@@ -286,8 +327,8 @@ let private_resident t ~core ~addr =
 let directory_marks t ~core ~addr =
   let socket = Topology.socket_of_core t.topo core in
   let l3 = t.l3s.(socket) in
-  match Cache.probe l3 (Cache.line_of_addr l3 addr) with
-  | Some slot -> Cache.aux l3 slot land (1 lsl Topology.local_index t.topo core) <> 0
-  | None -> false
+  let slot = Cache.probe l3 (Cache.line_of_addr l3 addr) in
+  slot >= 0
+  && Cache.aux l3 slot land (1 lsl Topology.local_index t.topo core) <> 0
 
 let memctrl_transactions t ~node = Memctrl.transactions t.memctrls.(node)

@@ -8,7 +8,7 @@ let create ~service_cycles =
   if service_cycles <= 0 then invalid_arg "Memctrl.create";
   { service_cycles; free_at = 0; transactions = 0 }
 
-let occupy t ~now =
+let[@inline] occupy t ~now =
   let wait = max 0 (t.free_at - now) in
   t.free_at <- now + wait + t.service_cycles;
   t.transactions <- t.transactions + 1;

@@ -28,6 +28,19 @@ let kind t i = kind_of_int (t.ops.(i) land kind_mask)
 let fn t i = (t.ops.(i) lsr kind_bits) land fn_mask
 let payload t i = t.ops.(i) lsr payload_shift
 
+(* Raw decode surface for the engine's hot replay loop: one array load per
+   op, integer kind codes, no variant construction. [raw] is unchecked —
+   callers iterate [0, length). *)
+let k_compute = 0
+let k_read = 1
+let k_write = 2
+let k_stall = 3
+let k_dma = 4
+let[@inline] raw t i = Array.unsafe_get t.ops i
+let[@inline] raw_kind w = w land kind_mask
+let[@inline] raw_fn w = (w lsr kind_bits) land fn_mask
+let[@inline] raw_payload w = w lsr payload_shift
+
 let iter t f =
   for i = 0 to t.len - 1 do
     f (kind t i) (fn t i) (payload t i)
@@ -78,4 +91,10 @@ module Builder = struct
   let dma b addr = push b (encode 4 Fn.none addr)
   let length b = b.len
   let finish b = make_trace (Array.sub b.ops 0 b.len) b.len
+
+  (* Zero-copy handoff: the trace aliases the builder's buffer, so it is
+     valid only until the next [clear]/push on [b]. Flow sources use this —
+     the engine fully replays a flow's trace before asking that flow's
+     source (and thus its builder) for the next one. *)
+  let view b = make_trace b.ops b.len
 end

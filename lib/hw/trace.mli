@@ -23,6 +23,29 @@ val payload : t -> int -> int
 val iter : t -> (op_kind -> Fn.t -> int -> unit) -> unit
 val empty : t
 
+(** {2 Raw decode}
+
+    The engine's replay loop decodes ops from the packed word directly: one
+    (unchecked) array load via [raw], then integer-code dispatch — no variant
+    construction, no repeated indexing. Everyone else should use
+    {!kind}/{!fn}/{!payload}. *)
+
+val raw : t -> int -> int
+(** The packed word of op [i]. Bounds-unchecked: valid only for
+    [0 <= i < length t]. *)
+
+val raw_kind : int -> int
+(** Kind code of a packed word: one of [k_compute]..[k_dma]. *)
+
+val raw_fn : int -> Fn.t
+val raw_payload : int -> int
+
+val k_compute : int
+val k_read : int
+val k_write : int
+val k_stall : int
+val k_dma : int
+
 val mem_refs : t -> int
 (** Number of Read/Write ops. *)
 
@@ -54,6 +77,14 @@ module Builder : sig
       the first core read of freshly received data is a compulsory miss. *)
 
   val length : t -> int
+
   val finish : t -> trace
   (** Snapshot the builder contents as an immutable trace (copies). *)
+
+  val view : t -> trace
+  (** Zero-copy [finish]: the returned trace aliases the builder's buffer
+      and is invalidated by the next [clear] or append. For sources that
+      rebuild their trace only after the engine has fully replayed the
+      previous one (the per-flow packet cycle); use [finish] when the trace
+      must outlive the builder. *)
 end

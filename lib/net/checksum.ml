@@ -4,11 +4,15 @@ let ones_sum b ~pos ~len =
   let sum = ref 0 in
   let i = ref pos in
   let stop = pos + len in
+  (* The slice is bounds-checked above; per-byte checks add nothing. *)
   while !i + 1 < stop do
-    sum := !sum + ((Char.code (Bytes.get b !i) lsl 8) lor Char.code (Bytes.get b (!i + 1)));
+    sum :=
+      !sum
+      + ((Char.code (Bytes.unsafe_get b !i) lsl 8)
+        lor Char.code (Bytes.unsafe_get b (!i + 1)));
     i := !i + 2
   done;
-  if !i < stop then sum := !sum + (Char.code (Bytes.get b !i) lsl 8);
+  if !i < stop then sum := !sum + (Char.code (Bytes.unsafe_get b !i) lsl 8);
   (* Fold carries. *)
   while !sum lsr 16 <> 0 do
     sum := (!sum land 0xFFFF) + (!sum lsr 16)

@@ -16,6 +16,19 @@ let hash t =
   let h = Hashes.combine h (Hashes.fnv1a_int ((t.sport lsl 20) lor (t.dport lsl 4) lor t.proto)) in
   h
 
+(* [hash (of_packet p)] without materializing the record — the per-packet
+   path of the NetFlow and flow-cache elements. Must stay bit-identical to
+   [hash]. *)
+let hash_of_packet p =
+  let open Ppp_util in
+  let h = Hashes.fnv1a_int (Ipv4.src p) in
+  let h = Hashes.combine h (Hashes.fnv1a_int (Ipv4.dst p)) in
+  Hashes.combine h
+    (Hashes.fnv1a_int
+       ((Transport.src_port p lsl 20)
+       lor (Transport.dst_port p lsl 4)
+       lor Ipv4.proto p))
+
 let equal a b =
   a.src = b.src && a.dst = b.dst && a.sport = b.sport && a.dport = b.dport
   && a.proto = b.proto

@@ -6,6 +6,10 @@ val of_packet : Packet.t -> t
 val hash : t -> int
 (** FNV-based stable hash (what the NetFlow element indexes its table by). *)
 
+val hash_of_packet : Packet.t -> int
+(** [hash_of_packet p = hash (of_packet p)], allocation-free — for
+    per-packet fast paths. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit

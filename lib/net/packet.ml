@@ -12,17 +12,20 @@ let resize t len =
   if len < 0 || len > capacity t then invalid_arg "Packet.resize";
   t.len <- len
 
-let get8 t i = Char.code (Bytes.get t.data i)
-let set8 t i v = Bytes.set t.data i (Char.chr (v land 0xFF))
-let get16 t i = (get8 t i lsl 8) lor get8 t (i + 1)
+(* Byte accessors keep the bounds check (indices come from arbitrary
+   callers) but stay branch-free past it: [v land 0xFF] is already a valid
+   char, so [Char.unsafe_chr] replaces the checked, raising [Char.chr]. *)
+let[@inline] get8 t i = Char.code (Bytes.get t.data i)
+let[@inline] set8 t i v = Bytes.set t.data i (Char.unsafe_chr (v land 0xFF))
+let[@inline] get16 t i = (get8 t i lsl 8) lor get8 t (i + 1)
 
-let set16 t i v =
+let[@inline] set16 t i v =
   set8 t i (v lsr 8);
   set8 t (i + 1) v
 
-let get32 t i = (get16 t i lsl 16) lor get16 t (i + 2)
+let[@inline] get32 t i = (get16 t i lsl 16) lor get16 t (i + 2)
 
-let set32 t i v =
+let[@inline] set32 t i v =
   set16 t i (v lsr 16);
   set16 t (i + 2) v
 

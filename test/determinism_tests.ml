@@ -24,7 +24,9 @@ let with_jobs n f =
 let render id ~seed ~jobs =
   match Registry.find id with
   | None -> Alcotest.failf "experiment %s not registered" id
-  | Some e -> with_jobs jobs (fun () -> e.Registry.run ~params:(params ~seed) ())
+  | Some e ->
+      with_jobs jobs (fun () ->
+          (e.Registry.run ~params:(params ~seed) ()).Ppp_experiments.Output.text)
 
 let check_experiment id () =
   let sequential = render id ~seed:42 ~jobs:1 in

@@ -24,7 +24,9 @@ let run_with_telemetry id =
       Ppp_telemetry.Recorder.set_experiment id;
       (* The rendered tables are covered by the <id>.expected snapshots;
          here only the collected telemetry is printed. *)
-      ignore (e.Ppp_experiments.Registry.run ~params:golden_params () : string)
+      ignore
+        (e.Ppp_experiments.Registry.run ~params:golden_params ()
+          : Ppp_experiments.Output.t)
   | None ->
       Printf.eprintf "golden_gen: unknown experiment %S\n" id;
       exit 1
@@ -52,7 +54,10 @@ let () =
       print_string (Ppp_telemetry.Csv.series_csv (Ppp_telemetry.Recorder.series ()))
   | [| _; id |] -> (
       match Ppp_experiments.Registry.find id with
-      | Some e -> print_string (e.Ppp_experiments.Registry.run ~params:golden_params ())
+      | Some e ->
+          print_string
+            (e.Ppp_experiments.Registry.run ~params:golden_params ())
+              .Ppp_experiments.Output.text
       | None ->
           Printf.eprintf "golden_gen: unknown experiment %S\n" id;
           exit 1)

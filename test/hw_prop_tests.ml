@@ -20,16 +20,22 @@ let prop_lru_eviction =
       List.for_all
         (fun line ->
           let set = line land (Cache.sets c - 1) in
-          if Cache.find c line <> None then begin
+          if Cache.find c line >= 0 then begin
             (* Hit: becomes most-recently-used. *)
             model.(set) <- line :: List.filter (( <> ) line) model.(set);
             true
           end
           else
             let ok =
-              match Cache.insert c line with
+              (* Two-step insert: read the victim in place, then fill. *)
+              let s = Cache.victim_slot c line in
+              let victim =
+                if Cache.slot_valid c s then Some (Cache.line c s) else None
+              in
+              Cache.fill c ~slot:s ~dirty:false ~aux:0 line;
+              match victim with
               | None -> List.length model.(set) < lru_geo.Cache.ways
-              | Some { Cache.victim_line; _ } ->
+              | Some victim_line ->
                   List.length model.(set) = lru_geo.Cache.ways
                   && victim_line = List.nth model.(set) (lru_geo.Cache.ways - 1)
             in

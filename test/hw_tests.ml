@@ -4,6 +4,28 @@ let geo size ways = { Cache.size_bytes = size; ways; line_bytes = 64 }
 
 (* --- Cache --- *)
 
+(* The two-step victim_slot/fill protocol, folded back into the old
+   insert-returning-the-eviction shape the tests are written against. *)
+let insert ?(dirty = false) ?(aux = 0) c line =
+  let s = Cache.victim_slot c line in
+  let victim =
+    if Cache.slot_valid c s then
+      Some (Cache.line c s, Cache.dirty c s, Cache.aux c s)
+    else None
+  in
+  Cache.fill c ~slot:s ~dirty ~aux line;
+  victim
+
+(* Old-style invalidate returning the line's final (dirty, aux) state. *)
+let invalidate c line =
+  let s = Cache.probe c line in
+  if s < 0 then None
+  else begin
+    let d = Cache.dirty c s and a = Cache.aux c s in
+    Cache.invalidate_slot c s;
+    Some (d, a)
+  end
+
 let test_cache_geometry () =
   let c = Cache.create (geo 4096 4) in
   Alcotest.(check int) "sets" 16 (Cache.sets c);
@@ -17,66 +39,78 @@ let test_cache_bad_geometry () =
 
 let test_cache_miss_then_hit () =
   let c = Cache.create (geo 4096 4) in
-  Alcotest.(check bool) "initially absent" true (Cache.find c 5 = None);
-  ignore (Cache.insert c 5);
-  Alcotest.(check bool) "present" true (Cache.find c 5 <> None)
+  Alcotest.(check int) "initially absent" Cache.none (Cache.find c 5);
+  ignore (insert c 5);
+  Alcotest.(check bool) "present" true (Cache.find c 5 >= 0)
 
 let test_cache_lru_eviction () =
   let c = Cache.create (geo (4 * 64) 4) in
   (* one set of 4 ways: lines mapping to set 0 are multiples of 1 (nsets=1) *)
   for line = 0 to 3 do
-    ignore (Cache.insert c line)
+    ignore (insert c line)
   done;
   (* Touch 0 so line 1 becomes LRU. *)
   ignore (Cache.find c 0);
-  match Cache.insert c 10 with
-  | Some { Cache.victim_line; _ } ->
+  match insert c 10 with
+  | Some (victim_line, _, _) ->
       Alcotest.(check int) "evicts LRU (1)" 1 victim_line
   | None -> Alcotest.fail "expected an eviction"
 
 let test_cache_insert_prefers_invalid_way () =
   let c = Cache.create (geo (4 * 64) 4) in
   for line = 0 to 3 do
-    ignore (Cache.insert c line)
+    ignore (insert c line)
   done;
-  ignore (Cache.invalidate c 2);
+  ignore (invalidate c 2);
   Alcotest.(check bool) "no eviction when a way is free" true
-    (Cache.insert c 7 = None);
+    (insert c 7 = None);
   Alcotest.(check bool) "old lines still resident" true
     (Cache.resident c 0 && Cache.resident c 1 && Cache.resident c 3)
 
 let test_cache_dirty_writeback_state () =
   let c = Cache.create (geo (2 * 64) 2) in
-  ignore (Cache.insert c ~dirty:true 1);
-  (match Cache.invalidate c 1 with
+  ignore (insert c ~dirty:true 1);
+  (match invalidate c 1 with
   | Some (dirty, _) -> Alcotest.(check bool) "was dirty" true dirty
   | None -> Alcotest.fail "line missing");
   Alcotest.(check bool) "gone" false (Cache.resident c 1)
 
 let test_cache_aux_roundtrip () =
   let c = Cache.create (geo 4096 4) in
-  ignore (Cache.insert c ~aux:42 9);
-  match Cache.find c 9 with
-  | Some slot ->
-      Alcotest.(check int) "aux" 42 (Cache.aux c slot);
-      Cache.set_aux c slot 7;
-      Alcotest.(check int) "aux updated" 7 (Cache.aux c slot)
-  | None -> Alcotest.fail "line missing"
+  ignore (insert c ~aux:42 9);
+  let slot = Cache.find c 9 in
+  if slot < 0 then Alcotest.fail "line missing";
+  Alcotest.(check int) "aux" 42 (Cache.aux c slot);
+  Cache.set_aux c slot 7;
+  Alcotest.(check int) "aux updated" 7 (Cache.aux c slot)
 
 let test_cache_double_insert_rejected () =
   let c = Cache.create (geo 4096 4) in
-  ignore (Cache.insert c 3);
+  ignore (insert c 3);
   Alcotest.check_raises "double insert"
-    (Invalid_argument "Cache.insert: line already resident") (fun () ->
-      ignore (Cache.insert c 3))
+    (Invalid_argument "Cache.victim_slot: line already resident") (fun () ->
+      ignore (insert c 3))
 
 let test_cache_occupancy_bounded () =
   let c = Cache.create (geo 4096 4) in
   for line = 0 to 499 do
-    if not (Cache.resident c line) then ignore (Cache.insert c line)
+    if not (Cache.resident c line) then ignore (insert c line)
   done;
   Alcotest.(check bool) "occupancy <= capacity" true
     (Cache.occupancy c <= Cache.lines c)
+
+let test_cache_fold_resident () =
+  let c = Cache.create (geo 4096 4) in
+  ignore (insert c ~dirty:true ~aux:3 1);
+  ignore (insert c 2);
+  let count, dirty_count, aux_sum =
+    Cache.fold_resident c ~init:(0, 0, 0)
+      (fun (n, d, a) _line ~dirty ~aux ->
+        ((n + 1), (d + if dirty then 1 else 0), a + aux))
+  in
+  Alcotest.(check int) "resident lines" 2 count;
+  Alcotest.(check int) "dirty lines" 1 dirty_count;
+  Alcotest.(check int) "aux sum" 3 aux_sum
 
 let prop_cache_occupancy_invariant =
   QCheck.Test.make ~count:100 ~name:"cache occupancy never exceeds capacity"
@@ -84,7 +118,7 @@ let prop_cache_occupancy_invariant =
     (fun lines ->
       let c = Cache.create (geo 1024 2) in
       List.iter
-        (fun line -> if not (Cache.resident c line) then ignore (Cache.insert c line))
+        (fun line -> if not (Cache.resident c line) then ignore (insert c line))
         lines;
       Cache.occupancy c <= Cache.lines c)
 
@@ -93,7 +127,7 @@ let prop_cache_find_after_insert =
     QCheck.(int_bound 100_000)
     (fun line ->
       let c = Cache.create (geo 4096 8) in
-      ignore (Cache.insert c line);
+      ignore (insert c line);
       Cache.resident c line)
 
 (* --- Topology --- *)
@@ -442,6 +476,7 @@ let tests =
     Alcotest.test_case "cache aux roundtrip" `Quick test_cache_aux_roundtrip;
     Alcotest.test_case "cache double insert" `Quick test_cache_double_insert_rejected;
     Alcotest.test_case "cache occupancy bound" `Quick test_cache_occupancy_bounded;
+    Alcotest.test_case "cache fold resident" `Quick test_cache_fold_resident;
     QCheck_alcotest.to_alcotest prop_cache_occupancy_invariant;
     QCheck_alcotest.to_alcotest prop_cache_find_after_insert;
     Alcotest.test_case "topology mapping" `Quick test_topology_mapping;
@@ -527,7 +562,7 @@ let prop_cache_equals_reference_model =
               (* access: hit -> touch both; miss -> insert both, victims
                  must agree. *)
               let model_hit = Ref.find r line in
-              let real_hit = Cache.find c line <> None in
+              let real_hit = Cache.find c line >= 0 in
               if model_hit <> real_hit then false
               else if model_hit then begin
                 Ref.touch r line;
@@ -536,15 +571,15 @@ let prop_cache_equals_reference_model =
               else begin
                 let model_victim = Ref.insert r line in
                 let real_victim =
-                  match Cache.insert c line with
-                  | Some { Cache.victim_line; _ } -> Some victim_line
+                  match insert c line with
+                  | Some (victim_line, _, _) -> Some victim_line
                   | None -> None
                 in
                 model_victim = real_victim
               end
           | 1 ->
               Ref.invalidate r line;
-              ignore (Cache.invalidate c line : (bool * int) option);
+              ignore (Cache.invalidate c line : bool);
               true
           | _ -> Ref.find r line = Cache.resident c line)
         ops)

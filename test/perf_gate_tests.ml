@@ -1,0 +1,64 @@
+(* The perf-gate report behind `bench --perf-gate`: the committed
+   BENCH_engine.json must keep its schema (CI parses it), and the recorded
+   trajectory must never lose points. *)
+
+module J = Ppp_telemetry.Json
+module G = Ppp_core.Perf_gate
+
+let report = lazy (G.run ~quick:true ~runs:1 ())
+
+let top_keys json =
+  match json with
+  | J.Obj fields -> List.map fst fields
+  | _ -> Alcotest.fail "perf-gate report is not a JSON object"
+
+let test_required_keys () =
+  let keys = top_keys (G.to_json (Lazy.force report)) in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Printf.sprintf "key %S present" k) true
+        (List.mem k keys))
+    G.required_keys
+
+let test_workloads () =
+  let r = Lazy.force report in
+  Alcotest.(check (list string))
+    "the three gated workloads, in order"
+    [ "solo"; "contended"; "probed" ]
+    (List.map (fun (m : G.measurement) -> m.G.name) r.G.workloads);
+  List.iter
+    (fun (m : G.measurement) ->
+      Alcotest.(check bool) (m.G.name ^ ": ops counted") true
+        (m.G.engine_ops > 0);
+      Alcotest.(check bool) (m.G.name ^ ": positive rate") true
+        (m.G.ops_per_sec > 0.0);
+      Alcotest.(check bool) (m.G.name ^ ": packets flowed") true
+        (m.G.window_packets > 0))
+    r.G.workloads
+
+let test_trajectory () =
+  (* The history is append-only: the pre-optimization baseline must always
+     be point zero, so regenerating BENCH_engine.json never loses it. *)
+  match G.trajectory with
+  | [] -> Alcotest.fail "trajectory must keep the pre-optimization baseline"
+  | first :: _ ->
+      Alcotest.(check bool) "baseline point records the old engine" true
+        (first.G.contended_ops_per_sec > 0.0
+        && first.G.hit_path_bytes_per_access > 0.0)
+
+let test_json_parses_back () =
+  (* write_file output must be valid for json.tool-style consumers: a
+     round-trip through the serializer is deterministic. *)
+  let j = G.to_json (Lazy.force report) in
+  let s = J.to_string j in
+  Alcotest.(check string) "serialization deterministic" s (J.to_string j);
+  Alcotest.(check bool) "non-trivial" true (String.length s > 200)
+
+let tests =
+  [
+    Alcotest.test_case "report has required keys" `Quick test_required_keys;
+    Alcotest.test_case "workload measurements sane" `Quick test_workloads;
+    Alcotest.test_case "trajectory keeps baseline" `Quick test_trajectory;
+    Alcotest.test_case "serialization deterministic" `Quick
+      test_json_parses_back;
+  ]

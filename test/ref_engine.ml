@@ -1,0 +1,234 @@
+(* The pre-heap interleaving engine, kept verbatim as a reference oracle.
+
+   This is the original Engine.run loop: an O(cores) min-scan over core
+   clocks per operation, closure-free but allocating (options on the cache
+   paths, per-op counter bumps straight into Counters.t). The optimized
+   engine in lib/hw must stay observationally identical to this — same
+   result list (including [engine_ops]) and the same probe samples in the
+   same order — which the qcheck property in engine_equiv_tests checks on
+   random flow sets. Do not "improve" this file; its value is that it does
+   not change. *)
+
+open Ppp_hw
+open Ppp_hw.Engine
+
+type core_state = {
+  flow : flow;
+  mutable time : int;
+  mutable trace : Trace.t;
+  mutable is_packet : bool;
+  mutable pos : int;
+  mutable pkt_start : int;
+  mutable packets_done : int;
+  mutable ops_done : int;
+  latency : Ppp_util.Histogram.t;
+  mutable warm_time : int;
+  mutable warm_packets : int;
+  mutable warm_counters : Counters.t option;
+  mutable end_time : int;
+  mutable end_packets : int;
+  mutable end_counters : Counters.t option;
+  mutable samp_time : int;
+  mutable samp_packets : int;
+  mutable samp_counters : Counters.t option;
+  mutable samp_next : int;
+  mutable samp_latency : Ppp_util.Histogram.t;
+}
+
+let fetch st =
+  let item = st.flow.source st.time in
+  let trace, is_packet =
+    match item with Packet t -> (t, true) | Idle t -> (t, false)
+  in
+  if Trace.length trace = 0 then
+    invalid_arg "Engine: source returned an empty trace";
+  st.trace <- trace;
+  st.is_packet <- is_packet;
+  if is_packet then st.pkt_start <- st.time;
+  st.pos <- 0
+
+let run ?probe hier ~flows ~warmup_cycles ~measure_cycles =
+  if flows = [] then invalid_arg "Engine.run: no flows";
+  (match probe with
+  | Some p when p.sample_cycles < 1 ->
+      invalid_arg "Engine.run: sample_cycles must be >= 1"
+  | _ -> ());
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (f : flow) ->
+      if Hashtbl.mem seen f.core then
+        invalid_arg "Engine.run: two flows on the same core";
+      Hashtbl.add seen f.core ())
+    flows;
+  let costs = Hierarchy.costs hier in
+  let states =
+    List.map
+      (fun (flow : flow) ->
+        let st =
+          {
+            flow;
+            time = 0;
+            trace = Trace.empty;
+            is_packet = false;
+            pos = 0;
+            pkt_start = 0;
+            packets_done = 0;
+            ops_done = 0;
+            latency = Ppp_util.Histogram.create ();
+            warm_time = 0;
+            warm_packets = 0;
+            warm_counters = None;
+            end_time = 0;
+            end_packets = 0;
+            end_counters = None;
+            samp_time = 0;
+            samp_packets = 0;
+            samp_counters = None;
+            samp_next = max_int;
+            samp_latency = Ppp_util.Histogram.create ();
+          }
+        in
+        fetch st;
+        st)
+      flows
+    |> Array.of_list
+  in
+  let n = Array.length states in
+  let window_end = warmup_cycles + measure_cycles in
+  let grid_next time =
+    match probe with
+    | None -> max_int
+    | Some p ->
+        let k = p.sample_cycles in
+        warmup_cycles + ((((time - warmup_cycles) / k) + 1) * k)
+  in
+  let emit st ~t_end counters_now =
+    match (probe, st.samp_counters) with
+    | Some p, Some prev when t_end > st.samp_time ->
+        p.on_sample
+          {
+            s_core = st.flow.core;
+            s_flow = st.flow.label;
+            s_start = st.samp_time;
+            s_end = t_end;
+            s_packets = st.packets_done - st.samp_packets;
+            s_delta = Counters.diff counters_now prev;
+            s_latency = st.samp_latency;
+          };
+        st.samp_time <- t_end;
+        st.samp_packets <- st.packets_done;
+        st.samp_counters <- Some counters_now;
+        st.samp_latency <- Ppp_util.Histogram.create ()
+    | _ -> ()
+  in
+  let snapshot st =
+    if st.warm_counters = None && st.time >= warmup_cycles then begin
+      st.warm_time <- st.time;
+      st.warm_packets <- st.packets_done;
+      let c = Counters.copy (Hierarchy.counters hier st.flow.core) in
+      st.warm_counters <- Some c;
+      match probe with
+      | Some _ ->
+          st.samp_time <- st.warm_time;
+          st.samp_packets <- st.warm_packets;
+          st.samp_counters <- Some c;
+          st.samp_next <- grid_next st.warm_time
+      | None -> ()
+    end;
+    if st.end_counters = None && st.time >= window_end then begin
+      st.end_time <- st.time;
+      st.end_packets <- st.packets_done;
+      let c = Counters.copy (Hierarchy.counters hier st.flow.core) in
+      st.end_counters <- Some c;
+      emit st ~t_end:st.end_time c;
+      st.samp_counters <- None
+    end
+    else if
+      st.end_counters = None
+      && (match st.samp_counters with Some _ -> true | None -> false)
+      && st.time >= st.samp_next
+    then begin
+      emit st ~t_end:st.time
+        (Counters.copy (Hierarchy.counters hier st.flow.core));
+      st.samp_next <- grid_next st.time
+    end
+  in
+  let step st =
+    st.ops_done <- st.ops_done + 1;
+    let k = Trace.kind st.trace st.pos in
+    let fn = Trace.fn st.trace st.pos in
+    let payload = Trace.payload st.trace st.pos in
+    (match k with
+    | Trace.Compute ->
+        let ctr = Hierarchy.counters hier st.flow.core in
+        Counters.add_instructions ctr payload;
+        let cycles =
+          max 1 (int_of_float (float_of_int payload *. costs.Costs.compute_cpi))
+        in
+        st.time <- st.time + cycles
+    | Trace.Stall -> st.time <- st.time + payload
+    | Trace.Dma -> Hierarchy.dma_write hier ~addr:payload ~now:st.time
+    | Trace.Read | Trace.Write ->
+        let lat =
+          Hierarchy.access hier ~core:st.flow.core
+            ~write:(k = Trace.Write) ~fn ~addr:payload ~now:st.time
+        in
+        st.time <- st.time + lat);
+    st.pos <- st.pos + 1;
+    if st.pos >= Trace.length st.trace then begin
+      if st.is_packet then begin
+        st.packets_done <- st.packets_done + 1;
+        Counters.add_packet (Hierarchy.counters hier st.flow.core);
+        if st.warm_counters <> None && st.end_counters = None then begin
+          Ppp_util.Histogram.record st.latency (st.time - st.pkt_start);
+          match st.samp_counters with
+          | Some _ ->
+              Ppp_util.Histogram.record st.samp_latency
+                (st.time - st.pkt_start)
+          | None -> ()
+        end
+      end;
+      snapshot st;
+      fetch st
+    end
+    else snapshot st
+  in
+  let rec loop () =
+    let min_i = ref 0 in
+    for i = 1 to n - 1 do
+      if states.(i).time < states.(!min_i).time then min_i := i
+    done;
+    let st = states.(!min_i) in
+    if st.time < window_end then begin
+      step st;
+      loop ()
+    end
+  in
+  loop ();
+  Array.iter snapshot states;
+  Array.to_list
+    (Array.map
+       (fun st ->
+         let warm =
+           match st.warm_counters with Some c -> c | None -> assert false
+         in
+         let finish =
+           match st.end_counters with Some c -> c | None -> assert false
+         in
+         let ctr = Counters.diff finish warm in
+         let cycles = max 1 (st.end_time - st.warm_time) in
+         let seconds = Costs.cycles_to_seconds costs cycles in
+         let packets = st.end_packets - st.warm_packets in
+         {
+           core = st.flow.core;
+           label = st.flow.label;
+           packets;
+           window_cycles = cycles;
+           throughput_pps = float_of_int packets /. seconds;
+           counters = ctr;
+           l3_refs_per_sec = float_of_int (Counters.l3_refs ctr) /. seconds;
+           l3_hits_per_sec = float_of_int (Counters.l3_hits ctr) /. seconds;
+           latency = st.latency;
+           engine_ops = st.ops_done;
+         })
+       states)

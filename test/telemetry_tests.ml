@@ -150,7 +150,10 @@ let fig2_exports ~jobs =
   with_jobs jobs (fun () ->
       with_recorder ~sample_cycles:100_000 (fun () ->
           Recorder.set_experiment "fig2";
-          let rendered = Ppp_experiments.Fig2_exp.run ~params:quick () in
+          let rendered =
+            (Ppp_experiments.Fig2_exp.run ~params:quick ())
+              .Ppp_experiments.Output.text
+          in
           let csv = Csv.series_csv (Recorder.series ()) in
           let trace =
             Json.to_string

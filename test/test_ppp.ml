@@ -10,6 +10,8 @@ let () =
       ("traffic", Traffic_tests.tests);
       ("core", Core_tests.tests);
       ("experiments", Experiments_tests.tests);
+      ("engine-equiv", Engine_equiv_tests.tests);
+      ("perf-gate", Perf_gate_tests.tests);
       ("determinism", Determinism_tests.tests);
       ("telemetry", Telemetry_tests.tests);
       ("extras", Extra_tests.tests);
