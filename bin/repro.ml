@@ -405,6 +405,191 @@ let capture_main () =
   Printf.printf "wrote %d %s packets to %s\n" !count
     (Ppp_apps.App.name kind) !out
 
+(* --- monitor --- *)
+
+let float_arg cli r ~name =
+  match float_of_string_opt !r with
+  | Some v -> v
+  | None -> Cli.die cli (Printf.sprintf "%s expects a number, got %S" name !r)
+
+let print_monitor_events det =
+  List.iter
+    (fun (e : Ppp_monitor.Detector.event) ->
+      let detail =
+        match e.Ppp_monitor.Detector.e_kind with
+        | Ppp_monitor.Detector.Flow_degraded { measured_drop; predicted_drop }
+          ->
+            Printf.sprintf "measured drop %.1f%% vs predicted %.1f%%"
+              (100.0 *. measured_drop) (100.0 *. predicted_drop)
+        | Ppp_monitor.Detector.Hidden_aggressor
+            { measured_refs_per_sec; profiled_refs_per_sec } ->
+            Printf.sprintf "%.1fM L3 refs/s vs %.1fM profiled"
+              (measured_refs_per_sec /. 1e6)
+              (profiled_refs_per_sec /. 1e6)
+        | Ppp_monitor.Detector.Recovered { condition } -> condition ^ " cleared"
+      in
+      Printf.printf "  epoch %3d @ %d cy  %-10s core %d  %-17s %s\n"
+        e.Ppp_monitor.Detector.e_epoch e.Ppp_monitor.Detector.e_t_cycles
+        e.Ppp_monitor.Detector.e_flow e.Ppp_monitor.Detector.e_core
+        (Ppp_monitor.Detector.kind_name e.Ppp_monitor.Detector.e_kind)
+        detail)
+    (Ppp_monitor.Detector.events det)
+
+let monitor_main () =
+  let cli =
+    Cli.create ~prog:"repro monitor [options] FLOW..."
+      ~summary:
+        "Co-run an ad-hoc set of flows (one per core) under the online \
+         contention monitor: profile each flow solo, stream the co-run \
+         through the prediction-violation and hidden-aggressor detectors, \
+         and report verdicts."
+  in
+  let params = params_args cli in
+  let telemetry = telemetry_args cli in
+  let hysteresis =
+    Cli.int cli [ "--hysteresis" ] ~docv:"K"
+      ~doc:"Consecutive slices needed to arm or release an alarm." 3
+  in
+  let margin =
+    Cli.string cli [ "--margin" ] ~docv:"FRAC"
+      ~doc:
+        "Hidden-aggressor margin: fractional excess over the profiled L3 \
+         refs/sec that counts as aggressive."
+      "0.5"
+  in
+  let drop_margin =
+    Cli.string cli [ "--drop-margin" ] ~docv:"FRAC"
+      ~doc:
+        "Prediction-violation margin: absolute drop excess over the \
+         predicted drop that counts as degraded."
+      "0.1"
+  in
+  let monitor_out =
+    Cli.opt_string cli [ "--monitor-out" ] ~docv:"DIR"
+      ~doc:
+        "Write the monitor's interpreted outputs into DIR: alerts.json \
+         (typed events, verdicts, throttle recommendations) and monitor.csv \
+         (per-slice timeline). Both are byte-deterministic."
+  in
+  let closed_loop =
+    Cli.flag cli [ "--closed-loop" ]
+      ~doc:
+        "After the monitored run, apply the detector's throttle-budget \
+         recommendations and re-run under the monitor to verify recovery."
+  in
+  let names =
+    match Cli.parse cli ~start:2 Sys.argv with
+    | [] -> Cli.die cli "expected at least one flow type"
+    | names -> names
+  in
+  let params = params () and telemetry = telemetry () in
+  if !hysteresis < 1 then Cli.die cli "--hysteresis must be >= 1";
+  let margin = float_arg cli margin ~name:"--margin" in
+  let drop_margin = float_arg cli drop_margin ~name:"--drop-margin" in
+  setup_telemetry params telemetry;
+  let kinds = parse_kinds names in
+  let specs =
+    List.mapi (fun i kind -> Ppp_core.Runner.flow_on ~core:i kind) kinds
+  in
+  let uniq = List.sort_uniq compare kinds in
+  Printf.printf "profiling %d flow types offline...\n%!" (List.length uniq);
+  let predictor =
+    Ppp_core.Predictor.build ~params
+      ~levels:Ppp_experiments.Monitor_exp.default_levels ~targets:uniq ()
+  in
+  let solos =
+    List.map (fun k -> (k, Ppp_core.Profile.solo ~params k)) uniq
+  in
+  let det_config =
+    {
+      (Ppp_monitor.Detector.default_config
+         ~sample_cycles:(effective_sample_cycles params telemetry))
+      with
+      Ppp_monitor.Detector.hysteresis = !hysteresis;
+      aggressor_margin = margin;
+      drop_margin;
+    }
+  in
+  let profiles =
+    List.mapi
+      (fun i kind ->
+        Ppp_monitor.Detector.profile_of ~predictor ~core:i
+          (List.assoc kind solos))
+      kinds
+  in
+  let freq_hz =
+    params.Ppp_core.Runner.config.Ppp_hw.Machine.costs.Ppp_hw.Costs.freq_hz
+  in
+  let monitored_run ~cell ?wrap () =
+    let det =
+      Ppp_monitor.Detector.create ~config:det_config ~freq_hz profiles
+    in
+    let _ =
+      Ppp_core.Runner.run
+        ~params:(Ppp_core.Runner.with_cell params cell)
+        ~probe:(Ppp_monitor.Detector.probe det) ?wrap specs
+    in
+    Ppp_monitor.Detector.finalize det;
+    if Ppp_telemetry.Recorder.sampling () <> None then
+      Ppp_telemetry.Recorder.add_events
+        (Ppp_monitor.Report.to_telemetry_events ~cell det);
+    det
+  in
+  let det = monitored_run ~cell:"monitor" () in
+  Ppp_util.Table.print (Ppp_monitor.Report.verdict_table det);
+  print_monitor_events det;
+  (match !monitor_out with
+  | Some dir ->
+      Ppp_telemetry.Export.write_monitor_dir ~dir
+        ~alerts:(Ppp_monitor.Report.alerts_json det)
+        ~timeline_csv:(Ppp_monitor.Report.timeline_csv det);
+      Printf.eprintf "wrote alerts.json, monitor.csv to %s/\n%!" dir
+  | None -> ());
+  (if !closed_loop then
+     match Ppp_monitor.Detector.recommendations det with
+     | [] ->
+         Printf.printf
+           "\nclosed loop: no throttle recommendations; nothing to apply\n"
+     | recs ->
+         (* First recommendation per core wins: it is the budget the alert
+            asked for at detection time. *)
+         let budgets =
+           List.fold_left
+             (fun acc (r : Ppp_monitor.Detector.recommendation) ->
+               if List.mem_assoc r.Ppp_monitor.Detector.r_core acc then acc
+               else
+                 (r.Ppp_monitor.Detector.r_core,
+                  r.Ppp_monitor.Detector.r_budget_l3_refs_per_sec)
+                 :: acc)
+             [] recs
+         in
+         Printf.printf "\nclosed loop: throttling %s\n%!"
+           (String.concat ", "
+              (List.map
+                 (fun (core, budget) ->
+                   Printf.sprintf "core %d to %.1fM L3 refs/s" core
+                     (budget /. 1e6))
+                 (List.rev budgets)));
+         let wrap hier ~core source =
+           match List.assoc_opt core budgets with
+           | Some budget ->
+               Ppp_core.Throttle.l3_budget_source
+                 ~budget_l3_refs_per_sec:budget ~hier ~core ~freq_hz source
+           | None -> source
+         in
+         let det2 = monitored_run ~cell:"monitor/closed-loop" ~wrap () in
+         Ppp_util.Table.print (Ppp_monitor.Report.verdict_table det2);
+         print_monitor_events det2;
+         (match !monitor_out with
+         | Some dir ->
+             let dir = Filename.concat dir "closed_loop" in
+             Ppp_telemetry.Export.write_monitor_dir ~dir
+               ~alerts:(Ppp_monitor.Report.alerts_json det2)
+               ~timeline_csv:(Ppp_monitor.Report.timeline_csv det2);
+             Printf.eprintf "wrote alerts.json, monitor.csv to %s/\n%!" dir
+         | None -> ()));
+  finish_telemetry params telemetry
+
 (* --- dispatch --- *)
 
 let toplevel_usage =
@@ -415,6 +600,7 @@ let toplevel_usage =
   \  run      Run one or more experiments by id.\n\
   \  all      Run every experiment (the full reproduction).\n\
   \  mix      Co-run an ad-hoc set of flows (one per core).\n\
+  \  monitor  Co-run flows under the online contention monitor.\n\
   \  predict  Predict contention-induced drop from offline profiles.\n\
   \  capture  Write a flow type's generated traffic to a pcap file.\n\
    Run `repro COMMAND --help` for the command's options.\n"
@@ -425,6 +611,7 @@ let () =
   | "run" -> run_all_main ~all:false ()
   | "all" -> run_all_main ~all:true ()
   | "mix" -> mix_main ()
+  | "monitor" -> monitor_main ()
   | "predict" -> predict_main ()
   | "capture" -> capture_main ()
   | "--help" | "-h" ->

@@ -36,7 +36,7 @@ let quick_params =
     cell = "";
   }
 
-let run ?(params = default_params) specs =
+let run ?(params = default_params) ?probe ?wrap specs =
   if specs = [] then invalid_arg "Runner.run: no flows";
   let t_wall = Ppp_telemetry.Span.now_s () in
   let config = params.config in
@@ -60,11 +60,13 @@ let run ?(params = default_params) specs =
             ~rng:(Ppp_util.Rng.split rng)
             ~scale:config.Ppp_hw.Machine.scale ~label ()
         in
-        {
-          Ppp_hw.Engine.core = spec.core;
-          label;
-          source = Ppp_click.Flow.source flow;
-        })
+        let source = Ppp_click.Flow.source flow in
+        let source =
+          match wrap with
+          | Some w -> w hier ~core:spec.core source
+          | None -> source
+        in
+        { Ppp_hw.Engine.core = spec.core; label; source })
       specs
   in
   (* Telemetry is a no-op unless the CLI configured the recorder. The
@@ -76,7 +78,27 @@ let run ?(params = default_params) specs =
         Some (Ppp_telemetry.Sampler.create ~cell:params.cell ~sample_cycles)
     | None -> None
   in
-  let probe = Option.map Ppp_telemetry.Sampler.probe sampler in
+  let sampler_probe = Option.map Ppp_telemetry.Sampler.probe sampler in
+  (* Tee the caller's probe with the telemetry sampler. The engine supports a
+     single probe, and the two consumers must agree on the slice grid for the
+     sample stream to mean the same thing to both. *)
+  let probe =
+    match (probe, sampler_probe) with
+    | None, p | p, None -> p
+    | Some a, Some b ->
+        if a.Ppp_hw.Engine.sample_cycles <> b.Ppp_hw.Engine.sample_cycles then
+          invalid_arg
+            "Runner.run: probe sample_cycles must match the telemetry \
+             recorder's sampling period";
+        Some
+          {
+            Ppp_hw.Engine.sample_cycles = a.Ppp_hw.Engine.sample_cycles;
+            on_sample =
+              (fun s ->
+                a.Ppp_hw.Engine.on_sample s;
+                b.Ppp_hw.Engine.on_sample s);
+          }
+  in
   let results =
     Ppp_hw.Engine.run ?probe hier ~flows
       ~warmup_cycles:params.warmup_cycles
@@ -108,9 +130,9 @@ let run ?(params = default_params) specs =
       };
   results
 
-let run ?params specs =
+let run ?params ?probe ?wrap specs =
   (* Results come back in input order already (Engine preserves it). *)
-  run ?params specs
+  run ?params ?probe ?wrap specs
 
 let cell_params params label =
   { params with seed = Ppp_util.Rng.derive ~seed:params.seed label;

@@ -35,12 +35,30 @@ val default_params : params
 val quick_params : params
 (** Shorter window for tests. *)
 
-val run : ?params:params -> spec list -> Ppp_hw.Engine.result list
+val run :
+  ?params:params ->
+  ?probe:Ppp_hw.Engine.probe ->
+  ?wrap:(Ppp_hw.Hierarchy.t -> core:int -> Ppp_hw.Engine.source ->
+         Ppp_hw.Engine.source) ->
+  spec list ->
+  Ppp_hw.Engine.result list
 (** Builds a fresh machine, instantiates each spec as a flow, runs, and
     returns results in spec order. When the {!Ppp_telemetry.Recorder} is
     configured, the run additionally feeds it: a per-core simulated-time
     counter series (sampling) and a wall-clock span, both tagged with
-    [params.cell]. *)
+    [params.cell].
+
+    [?probe] is teed with the telemetry sampler (the engine takes a single
+    probe): both receive every sample. Because the two consumers would
+    otherwise disagree about what a slice means, the caller's
+    [probe.sample_cycles] must equal the recorder's sampling period when
+    telemetry sampling is on ([Invalid_argument] otherwise). This is how the
+    contention monitor observes a run without a second simulation.
+
+    [?wrap] transforms each flow's packet source after placement, with access
+    to the machine being simulated — the hook used to interpose
+    {!Throttle.l3_budget_source} for closed-loop experiments. It runs once
+    per flow during setup; identity by default. *)
 
 val cell_params : params -> string -> params
 (** [cell_params p label] is [p] with its seed replaced by

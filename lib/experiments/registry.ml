@@ -97,6 +97,12 @@ let all =
       paper_ref = "Section 4";
       run = Throttle_exp.run;
     };
+    {
+      id = "monitor";
+      title = "Online contention monitor: detection and closed-loop throttle";
+      paper_ref = "Section 4";
+      run = Monitor_exp.run;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -1,0 +1,37 @@
+(** Rendering a finished {!Detector} run: CSV timeline, alerts JSON,
+    verdict table, telemetry events.
+
+    Everything here is a pure function of the detector's (deterministic)
+    state — floats are serialized through {!Ppp_telemetry.Json.float_repr},
+    so all outputs are byte-identical across job counts and suitable for
+    golden snapshots. Call {!Detector.finalize} first. *)
+
+val schema : string
+(** ["ppp-monitor-alerts/1"], the [alerts_json] schema tag. *)
+
+val timeline_csv : Detector.t -> string
+(** The interpreted per-slice timeline ([monitor.csv]): one row per
+    flow-epoch with instantaneous and EWMA rates, slice latency quantiles,
+    competing rate, measured vs predicted drop, and the raw (pre-hysteresis)
+    condition flags. *)
+
+val alerts_json : Detector.t -> Ppp_telemetry.Json.t
+(** The [alerts.json] document: config echo, per-flow verdicts, the typed
+    event stream, and throttle-budget recommendations. *)
+
+val verdict : Detector.t -> Detector.flow_profile -> string
+(** ["aggressor"], ["degraded"], ["recovered"], or ["ok"] — armed alarms
+    win (aggressor over degraded); released alarms read "recovered". *)
+
+val verdicts : Detector.t -> (Detector.flow_profile * string) list
+
+val verdict_table : Detector.t -> Ppp_util.Table.t
+(** One row per flow: solo vs final smoothed rates, drop vs prediction,
+    event count, verdict. *)
+
+val to_telemetry_events :
+  cell:string -> Detector.t -> Ppp_telemetry.Event.t list
+(** Detector events as telemetry events (names [monitor.flow_degraded],
+    [monitor.hidden_aggressor], [monitor.recovered]) for
+    {!Ppp_telemetry.Recorder.add_events} — they surface as Chrome-trace
+    instant events and in the manifest's alerts section. *)

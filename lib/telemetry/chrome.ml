@@ -1,24 +1,31 @@
 let wall_pid = 0
 
+let key_name ~experiment ~cell =
+  let cell = if cell = "" then "(unlabeled)" else cell in
+  if experiment = "" then cell else experiment ^ "/" ^ cell
+
 let cell_name (s : Timeseries.t) =
-  let cell = if s.Timeseries.cell = "" then "(unlabeled)" else s.Timeseries.cell in
-  if s.Timeseries.experiment = "" then cell
-  else s.Timeseries.experiment ^ "/" ^ cell
+  key_name ~experiment:s.Timeseries.experiment ~cell:s.Timeseries.cell
+
+let event_cell_name (e : Event.t) =
+  key_name ~experiment:e.Event.experiment ~cell:e.Event.cell
 
 (* Deterministic pid per (experiment, cell), in first-appearance order of
-   the (already sorted) series list. pid 0 is reserved for wall-clock. *)
-let assign_pids series =
+   the (already sorted) series list, then of the (already sorted) event
+   list — so a trace with no events keeps its historical pids byte-for-
+   byte. pid 0 is reserved for wall-clock. *)
+let assign_pids series events =
   let tbl = Hashtbl.create 16 in
   let next = ref 1 in
-  List.iter
-    (fun s ->
-      let key = cell_name s in
-      if not (Hashtbl.mem tbl key) then begin
-        Hashtbl.add tbl key !next;
-        incr next
-      end)
-    series;
-  fun s -> Hashtbl.find tbl (cell_name s)
+  let claim key =
+    if not (Hashtbl.mem tbl key) then begin
+      Hashtbl.add tbl key !next;
+      incr next
+    end
+  in
+  List.iter (fun s -> claim (cell_name s)) series;
+  List.iter (fun e -> claim (event_cell_name e)) events;
+  fun key -> Hashtbl.find tbl key
 
 let meta_event ~pid ?tid ~name ~value () =
   let base =
@@ -41,7 +48,7 @@ let counter ~pid ~tid ~ts ~name args =
     ]
 
 let series_events pid_of (s : Timeseries.t) =
-  let pid = pid_of s in
+  let pid = pid_of (cell_name s) in
   let tid = s.Timeseries.core + 1 in
   let pre =
     [
@@ -70,6 +77,27 @@ let series_events pid_of (s : Timeseries.t) =
     ]
   in
   pre @ List.concat_map per_slice s.Timeseries.slices
+
+(* Monitor alerts as thread-scoped instant events ("i" phase) on the
+   simulated clock, attached to the same (experiment, cell) process and the
+   event's core thread, so they line up with the counter tracks. *)
+let instant_events pid_of events =
+  List.map
+    (fun (e : Event.t) ->
+      let pid = pid_of (event_cell_name e) in
+      Json.Obj
+        [
+          ("name", Json.Str e.Event.name);
+          ("cat", Json.Str "monitor");
+          ("ph", Json.Str "i");
+          ("s", Json.Str "t");
+          ("pid", Json.Int pid);
+          ("tid", Json.Int (e.Event.core + 1));
+          ("ts", Json.Int e.Event.t_cycles);
+          ( "args",
+            Json.Obj (("flow", Json.Str e.Event.flow) :: e.Event.args) );
+        ])
+    events
 
 let span_events spans =
   match spans with
@@ -101,10 +129,11 @@ let span_events spans =
                ])
            spans
 
-let trace ?(include_wall_clock = true) ~series ~spans ~meta () =
-  let pid_of = assign_pids series in
+let trace ?(include_wall_clock = true) ?(events = []) ~series ~spans ~meta () =
+  let pid_of = assign_pids series events in
   let events =
     List.concat_map (series_events pid_of) series
+    @ instant_events pid_of events
     @ (if include_wall_clock then span_events spans else [])
   in
   Json.Obj

@@ -4,7 +4,8 @@
 
     - {b Simulated time} (deterministic): one process per experiment cell,
       one thread per simulated core, counter events ("C" phase) for L3
-      hits+misses per second, packets per second and latency quantiles.
+      hits+misses per second, packets per second and latency quantiles,
+      plus thread-scoped instant events ("i" phase) for monitor alerts.
       Timestamps are {e simulated cycles} (the viewer will label them as
       microseconds; 1 displayed us = 1 cycle).
     - {b Wall clock} (nondeterministic, optional): a single process of
@@ -16,12 +17,14 @@
 
 val trace :
   ?include_wall_clock:bool ->
+  ?events:Event.t list ->
   series:Timeseries.t list ->
   spans:Span.t list ->
   meta:(string * Json.t) list ->
   unit ->
   Json.t
-(** [include_wall_clock] defaults to [true]. [meta] lands in the trace's
+(** [include_wall_clock] defaults to [true]; [events] (default []) become
+    simulated-clock instant events. [meta] lands in the trace's
     ["otherData"]; keep it deterministic if the trace is to be snapshotted.
-    [series] should already be in {!Timeseries.compare} order (as returned
-    by {!Recorder.series}). *)
+    [series] and [events] should already be in {!Timeseries.compare} /
+    {!Event.compare} order (as returned by the {!Recorder}). *)

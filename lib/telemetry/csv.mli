@@ -13,3 +13,11 @@ val series_csv : Timeseries.t list -> string
 val spans_csv : Span.t list -> string
 (** One row per span: name, category, domain, absolute start, queue wait
     and duration (milliseconds), plus args as [k=v] pairs. *)
+
+val field : string -> string
+(** RFC-4180 quoting of one cell (used by layers that render their own
+    CSV timelines, e.g. the contention monitor). *)
+
+val row : string list -> string
+(** Comma-joined cells plus the terminating newline. Cells must already be
+    {!field}-quoted where needed. *)

@@ -1,0 +1,27 @@
+type t = {
+  experiment : string;
+  cell : string;
+  t_cycles : int;
+  core : int;
+  flow : string;
+  name : string;
+  args : (string * Json.t) list;
+}
+
+(* Field order above is the sort significance order; the record holds only
+   ints, strings and Json values (no closures), so the polymorphic compare
+   is a safe deterministic total order — same discipline as
+   {!Timeseries.compare}. *)
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let json e =
+  Json.Obj
+    [
+      ("experiment", Json.Str e.experiment);
+      ("cell", Json.Str e.cell);
+      ("t_cycles", Json.Int e.t_cycles);
+      ("core", Json.Int e.core);
+      ("flow", Json.Str e.flow);
+      ("name", Json.Str e.name);
+      ("args", Json.Obj e.args);
+    ]

@@ -5,13 +5,13 @@ let rec mkdir_p dir =
   end
 
 let deterministic_trace ~meta =
-  Chrome.trace ~include_wall_clock:false ~series:(Recorder.series ())
-    ~spans:[] ~meta ()
+  Chrome.trace ~include_wall_clock:false ~events:(Recorder.events ())
+    ~series:(Recorder.series ()) ~spans:[] ~meta ()
 
 let write_trace ~path ~meta =
   Json.write_file path
-    (Chrome.trace ~series:(Recorder.series ()) ~spans:(Recorder.spans ())
-       ~meta ())
+    (Chrome.trace ~events:(Recorder.events ()) ~series:(Recorder.series ())
+       ~spans:(Recorder.spans ()) ~meta ())
 
 let write_string path s =
   let oc = open_out path in
@@ -21,8 +21,15 @@ let write_metrics_dir ~dir ~run =
   mkdir_p dir;
   let series = Recorder.series () in
   let spans = Recorder.spans () in
+  let events = Recorder.events () in
   write_string (Filename.concat dir "series.csv") (Csv.series_csv series);
   write_string (Filename.concat dir "spans.csv") (Csv.spans_csv spans);
   Json.write_file
     (Filename.concat dir "manifest.json")
-    (Manifest.json ~run ~experiments:(Recorder.experiments ()) ~series ~spans)
+    (Manifest.json ~events ~run ~experiments:(Recorder.experiments ()) ~series
+       ~spans ())
+
+let write_monitor_dir ~dir ~alerts ~timeline_csv =
+  mkdir_p dir;
+  Json.write_file (Filename.concat dir "alerts.json") alerts;
+  write_string (Filename.concat dir "monitor.csv") timeline_csv

@@ -7,10 +7,18 @@
 
 val deterministic_trace : meta:(string * Json.t) list -> Json.t
 (** The Chrome trace restricted to its deterministic (simulated-time)
-    subset: no wall-clock spans. What the golden tests snapshot. *)
+    subset: counter series and monitor instant events, no wall-clock
+    spans. What the golden tests snapshot. *)
 
 val write_trace : path:string -> meta:(string * Json.t) list -> unit
 (** Full Chrome trace (simulated tracks + wall-clock spans) to [path]. *)
 
 val write_metrics_dir : dir:string -> run:Manifest.run -> unit
 (** Creates [dir] (and parents) if needed and writes the three files. *)
+
+val write_monitor_dir : dir:string -> alerts:Json.t -> timeline_csv:string -> unit
+(** Writes a contention-monitor run's interpreted outputs: [alerts.json]
+    (the typed event stream + per-flow verdicts, built by
+    [Ppp_monitor.Report.alerts_json]) and [monitor.csv] (the per-slice
+    interpreted timeline). Both are simulated-time data and therefore
+    byte-deterministic across job counts. *)

@@ -9,9 +9,30 @@ type run = {
   sample_cycles : int option;
 }
 
-let schema = "ppp-telemetry/1"
+let schema = "ppp-telemetry/2"
+let schema_version = 2
 
-let json ~run ~experiments ~series ~spans =
+(* The alerts section summarizes monitor events. It is always present —
+   an empty section (0 events) is the valid shape for non-monitor runs —
+   so consumers never have to probe for the key. *)
+let alerts_json events =
+  let by_name =
+    List.sort_uniq compare (List.map (fun (e : Event.t) -> e.Event.name) events)
+    |> List.map (fun name ->
+           ( name,
+             Json.Int
+               (List.length
+                  (List.filter
+                     (fun (e : Event.t) -> e.Event.name = name)
+                     events)) ))
+  in
+  Json.Obj
+    [
+      ("events", Json.Int (List.length events));
+      ("by_name", Json.Obj by_name);
+    ]
+
+let json ?(events = []) ~run ~experiments ~series ~spans () =
   let n_slices =
     List.fold_left
       (fun acc (s : Timeseries.t) -> acc + List.length s.Timeseries.slices)
@@ -33,6 +54,7 @@ let json ~run ~experiments ~series ~spans =
   Json.Obj
     [
       ("schema", Json.Str schema);
+      ("schema_version", Json.Int schema_version);
       ( "run",
         Json.Obj
           [
@@ -67,6 +89,7 @@ let json ~run ~experiments ~series ~spans =
             ("series", Json.Int (List.length series));
             ("slices", Json.Int n_slices);
           ] );
+      ("alerts", alerts_json events);
       ( "wall_clock",
         Json.Obj
           [

@@ -18,8 +18,14 @@ type run = {
 }
 
 val json :
+  ?events:Event.t list ->
   run:run ->
   experiments:Recorder.experiment_entry list ->
   series:Timeseries.t list ->
   spans:Span.t list ->
+  unit ->
   Json.t
+(** Schema "ppp-telemetry/2": adds a [schema_version] field and an [alerts]
+    section summarizing monitor events (count + per-name breakdown). The
+    section is always emitted; with no events it is the empty-but-valid
+    shape ({["events": 0]}), so non-monitor runs stay schema-conforming. *)

@@ -14,6 +14,7 @@ let experiment_tag = Atomic.make ""
 let lock = Mutex.create ()
 let acc_series : Timeseries.t list ref = ref []
 let acc_spans : Span.t list ref = ref []
+let acc_events : Event.t list ref = ref []
 let acc_experiments : experiment_entry list ref = ref []
 
 let locked f =
@@ -32,6 +33,7 @@ let clear_data () =
   locked (fun () ->
       acc_series := [];
       acc_spans := [];
+      acc_events := [];
       acc_experiments := [])
 
 let reset () =
@@ -56,6 +58,16 @@ let add_series ss =
 
 let add_span s = locked (fun () -> acc_spans := s :: !acc_spans)
 
+let add_events es =
+  let experiment = current_experiment () in
+  let es =
+    List.map
+      (fun (e : Event.t) ->
+        if e.Event.experiment = "" then { e with Event.experiment } else e)
+      es
+  in
+  locked (fun () -> acc_events := List.rev_append es !acc_events)
+
 let record_experiment ~id ~title ~paper_ref ~wall_s =
   locked (fun () ->
       acc_experiments :=
@@ -72,4 +84,5 @@ let spans () =
           compare (a.Span.start_s, a.Span.name) (b.Span.start_s, b.Span.name))
         !acc_spans)
 
+let events () = locked (fun () -> List.sort Event.compare !acc_events)
 let experiments () = locked (fun () -> List.rev !acc_experiments)

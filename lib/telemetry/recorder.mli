@@ -46,6 +46,10 @@ val add_series : Timeseries.t list -> unit
 val add_span : Span.t -> unit
 (** Thread-safe. *)
 
+val add_events : Event.t list -> unit
+(** Thread-safe; events whose [experiment] field is empty are tagged with
+    {!current_experiment}. *)
+
 val record_experiment :
   id:string -> title:string -> paper_ref:string -> wall_s:float -> unit
 (** Appends a manifest entry for a completed experiment (always recorded,
@@ -58,6 +62,10 @@ val series : unit -> Timeseries.t list
 
 val spans : unit -> Span.t list
 (** Sorted by (start, name); wall-clock, nondeterministic. *)
+
+val events : unit -> Event.t list
+(** Sorted with {!Event.compare} — simulated-time, deterministic for a
+    fixed seed and machine regardless of job count. *)
 
 val experiments : unit -> experiment_entry list
 (** In completion order (experiments run sequentially from the main

@@ -17,6 +17,9 @@ val total : t -> int
 (** Sum of all recorded samples. *)
 
 val mean : t -> float
+(** Exact mean of the recorded samples ([total / count]); [0.0] — not
+    NaN — when nothing has been recorded, so downstream rate arithmetic
+    and JSON export never see a non-finite value. *)
 
 val percentile : t -> float -> int
 (** [percentile t p] for [p] in [0,100]: an upper bound of the bucket

@@ -52,6 +52,15 @@ let () =
   | [| _; "metrics"; id |] ->
       run_with_telemetry id;
       print_string (Ppp_telemetry.Csv.series_csv (Ppp_telemetry.Recorder.series ()))
+  | [| _; "alerts"; "monitor" |] ->
+      (* The monitor's interpreted alert stream for the loud (aggressor
+         switches mid-run) phase: the alerts.json document byte-for-byte. *)
+      let d = Ppp_experiments.Monitor_exp.measure ~params:golden_params () in
+      print_string
+        (Ppp_telemetry.Json.to_string
+           d.Ppp_experiments.Monitor_exp.loud.Ppp_experiments.Monitor_exp
+             .alerts);
+      print_newline ()
   | [| _; id |] -> (
       match Ppp_experiments.Registry.find id with
       | Some e ->
@@ -62,5 +71,5 @@ let () =
           Printf.eprintf "golden_gen: unknown experiment %S\n" id;
           exit 1)
   | _ ->
-      Printf.eprintf "usage: golden_gen [trace|metrics] <experiment-id>\n";
+      Printf.eprintf "usage: golden_gen [trace|metrics|alerts] <experiment-id>\n";
       exit 1

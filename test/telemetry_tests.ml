@@ -206,6 +206,11 @@ let manifest_run =
     sample_cycles = Some 100_000;
   }
 
+let minified_contains s needle =
+  let nl = String.length needle and sl = String.length s in
+  let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+  go 0
+
 let test_manifest_shape () =
   with_recorder ~sample_cycles:100_000 (fun () ->
       Recorder.record_experiment ~id:"fig2" ~title:"t" ~paper_ref:"Figure 2"
@@ -213,22 +218,53 @@ let test_manifest_shape () =
       let j =
         Manifest.json ~run:manifest_run
           ~experiments:(Recorder.experiments ())
-          ~series:(Recorder.series ()) ~spans:(Recorder.spans ())
+          ~series:(Recorder.series ()) ~spans:(Recorder.spans ()) ()
       in
       let s = Json.to_string ~minify:true j in
-      let contains needle =
-        let nl = String.length needle and sl = String.length s in
-        let rec go i =
-          i + nl <= sl && (String.sub s i nl = needle || go (i + 1))
-        in
-        go 0
-      in
       List.iter
         (fun needle ->
           Alcotest.(check bool)
             (Printf.sprintf "manifest mentions %s" needle)
-            true (contains needle))
-        [ "ppp-telemetry/1"; "\"tool\":\"test\""; "\"fig2\""; "wall_clock" ])
+            true (minified_contains s needle))
+        [
+          "ppp-telemetry/2"; "\"schema_version\":2"; "\"tool\":\"test\"";
+          "\"fig2\""; "wall_clock";
+        ])
+
+let test_manifest_alerts_shape () =
+  (* The alerts section is always present: empty-but-valid with no events,
+     a per-name count breakdown with some. *)
+  with_recorder ~sample_cycles:100_000 (fun () ->
+      let manifest () =
+        Json.to_string ~minify:true
+          (Manifest.json
+             ~events:(Recorder.events ())
+             ~run:manifest_run ~experiments:[] ~series:[] ~spans:[] ())
+      in
+      let empty = manifest () in
+      Alcotest.(check bool) "empty alerts section is the valid empty shape"
+        true
+        (minified_contains empty {|"alerts":{"events":0,"by_name":{}}|});
+      Recorder.set_experiment "monitor";
+      let ev name =
+        {
+          Event.experiment = "";
+          cell = "monitor/loud";
+          t_cycles = 1_000_000;
+          core = 1;
+          flow = "two-faced";
+          name;
+          args = [];
+        }
+      in
+      Recorder.add_events
+        [ ev "monitor.hidden_aggressor"; ev "monitor.recovered";
+          ev "monitor.hidden_aggressor" ];
+      Recorder.set_experiment "";
+      let s = manifest () in
+      Alcotest.(check bool) "per-name counts, names sorted" true
+        (minified_contains s
+           {|"alerts":{"events":3,"by_name":{"monitor.hidden_aggressor":2,"monitor.recovered":1}}|}))
 
 let test_trace_shape () =
   with_recorder ~sample_cycles:100_000 (fun () ->
@@ -286,6 +322,8 @@ let tests =
     Alcotest.test_case "registry --json lists every experiment" `Quick
       test_registry_json;
     Alcotest.test_case "manifest shape" `Quick test_manifest_shape;
+    Alcotest.test_case "manifest alerts section" `Quick
+      test_manifest_alerts_shape;
     Alcotest.test_case "deterministic trace shape" `Quick test_trace_shape;
     Alcotest.test_case "recorder validation and defaults" `Quick
       test_recorder_validation;

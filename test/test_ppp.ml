@@ -14,6 +14,7 @@ let () =
       ("perf-gate", Perf_gate_tests.tests);
       ("determinism", Determinism_tests.tests);
       ("telemetry", Telemetry_tests.tests);
+      ("monitor", Monitor_tests.tests);
       ("extras", Extra_tests.tests);
       ("extensions", Ext_tests.tests);
     ]

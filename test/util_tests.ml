@@ -256,6 +256,37 @@ let prop_rng_int_in_range =
       let v = Rng.int rng n in
       v >= 0 && v < n)
 
+(* --- Histogram --- *)
+
+let test_histogram_empty_mean () =
+  let h = Histogram.create () in
+  check_float "empty mean is 0.0, not NaN" 0.0 (Histogram.mean h);
+  Alcotest.(check int) "empty percentile is 0" 0 (Histogram.percentile h 99.0);
+  Alcotest.(check int) "empty max is 0" 0 (Histogram.max_value h)
+
+let prop_histogram_merge_union =
+  QCheck.Test.make ~count:200
+    ~name:"merge_into agrees with recording the union"
+    QCheck.(
+      pair
+        (list (int_range 0 1_000_000))
+        (list (int_range 0 1_000_000)))
+    (fun (xs, ys) ->
+      let a = Histogram.create ()
+      and b = Histogram.create ()
+      and u = Histogram.create () in
+      List.iter (Histogram.record a) xs;
+      List.iter (Histogram.record b) ys;
+      List.iter (Histogram.record u) (xs @ ys);
+      Histogram.merge_into ~src:b ~dst:a;
+      Histogram.count a = Histogram.count u
+      && Histogram.total a = Histogram.total u
+      && Histogram.mean a = Histogram.mean u
+      && Histogram.max_value a = Histogram.max_value u
+      && List.for_all
+           (fun p -> Histogram.percentile a p = Histogram.percentile u p)
+           [ 0.0; 50.0; 90.0; 99.0; 100.0 ])
+
 let tests =
   [
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
@@ -294,6 +325,8 @@ let tests =
     Alcotest.test_case "series duplicate x" `Quick test_series_duplicate_x;
     Alcotest.test_case "series monotonicity check" `Quick test_series_monotone;
     Alcotest.test_case "series knee" `Quick test_series_knee;
+    Alcotest.test_case "histogram empty mean" `Quick test_histogram_empty_mean;
+    QCheck_alcotest.to_alcotest prop_histogram_merge_union;
     QCheck_alcotest.to_alcotest prop_series_eval_within_bounds;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;
     QCheck_alcotest.to_alcotest prop_rng_int_in_range;
