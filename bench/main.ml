@@ -38,6 +38,13 @@ let jobs =
        are byte-identical for any value."
     0
 
+let batch =
+  Cli.int cli [ "--batch" ] ~docv:"N"
+    ~doc:
+      "Engine burst budget: trace ops a scheduled core may retire per \
+       scheduling decision. Output is byte-identical for any value >= 1."
+    Ppp_core.Runner.default_params.Ppp_core.Runner.batch
+
 let metrics_dir =
   Cli.opt_string cli [ "--metrics-dir" ] ~docv:"DIR"
     ~doc:
@@ -68,14 +75,16 @@ let () =
   | [] -> ()
   | a :: _ -> Cli.die cli (Printf.sprintf "unexpected argument %S" a));
   if !jobs < 0 then Cli.die cli "--jobs must be >= 0";
+  if !batch < 1 then Cli.die cli "--batch must be >= 1";
   Ppp_core.Parallel.set_jobs !jobs
 
 let quick = !quick
 let tables_only = !tables_only
 let metrics_dir = !metrics_dir
+let batch = !batch
 
 let params =
-  let p = Ppp_core.Runner.default_params in
+  let p = { Ppp_core.Runner.default_params with Ppp_core.Runner.batch = batch } in
   if quick then
     {
       p with
@@ -351,8 +360,8 @@ let perf_gate () =
   let out = !perf_gate_out in
   let report =
     match !perf_gate_runs with
-    | n when n > 0 -> Ppp_core.Perf_gate.run ~quick ~runs:n ()
-    | _ -> Ppp_core.Perf_gate.run ~quick ()
+    | n when n > 0 -> Ppp_core.Perf_gate.run ~quick ~runs:n ~batch ()
+    | _ -> Ppp_core.Perf_gate.run ~quick ~batch ()
   in
   Ppp_telemetry.Json.write_file out (Ppp_core.Perf_gate.to_json report);
   List.iter

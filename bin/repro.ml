@@ -22,6 +22,13 @@ let params_args cli =
     Cli.flag cli [ "--quick" ]
       ~doc:"Quarter-length windows (faster, noisier)."
   in
+  let batch =
+    Cli.int cli [ "--batch" ] ~docv:"N"
+      ~doc:
+        "Engine burst budget: trace ops a scheduled core may retire per \
+         scheduling decision. Output is byte-identical for any value >= 1."
+      Ppp_core.Runner.default_params.Ppp_core.Runner.batch
+  in
   let jobs =
     Cli.int cli [ "--jobs"; "-j" ] ~docv:"N"
       ~doc:
@@ -34,6 +41,7 @@ let params_args cli =
     | None -> Cli.die cli (Printf.sprintf "unknown config %S" !config)
     | Some c ->
         if !jobs < 0 then Cli.die cli "--jobs must be >= 0";
+        if !batch < 1 then Cli.die cli "--batch must be >= 1";
         Ppp_core.Parallel.set_jobs !jobs;
         let div = if !quick then 4 else 1 in
         {
@@ -41,6 +49,7 @@ let params_args cli =
           seed = !seed;
           warmup_cycles = !warmup / div;
           measure_cycles = !measure / div;
+          batch = !batch;
           cell = "";
         })
 

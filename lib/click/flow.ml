@@ -19,17 +19,22 @@ type t = {
   mutable seq : int;
   mutable forwarded : int;
   mutable dropped : int;
+  item : Ppp_hw.Engine.item;
+      (* [Packet] of the builder's pooled view, built once: [source] returns
+         it after refreshing the view, so the steady-state packet cycle
+         allocates nothing. *)
 }
 
 let create ~heap ~rng ~label ~gen ~elements ?(rx_slots = 64) ?(buf_stride = 2048)
     () =
   if rx_slots <= 0 then invalid_arg "Flow.create: rx_slots must be positive";
   let open Ppp_simmem in
+  let ctx = Ctx.create ~rng in
   {
     label;
     gen;
     elements;
-    ctx = Ctx.create ~rng;
+    ctx;
     pkt = Ppp_net.Packet.create 60;
     rx_desc = Iarray.create heap ~elem_bytes:16 rx_slots 0;
     tx_desc = Iarray.create heap ~elem_bytes:16 rx_slots 0;
@@ -40,6 +45,7 @@ let create ~heap ~rng ~label ~gen ~elements ?(rx_slots = 64) ?(buf_stride = 2048
     seq = 0;
     forwarded = 0;
     dropped = 0;
+    item = Ppp_hw.Engine.Packet (Ppp_hw.Trace.Builder.view ctx.Ctx.builder);
   }
 
 let label t = t.label
@@ -97,5 +103,8 @@ let source t (_now : int) =
   | Element.Drop -> t.dropped <- t.dropped + 1);
   recycle t slot;
   (* [view], not [finish]: the engine replays this trace to completion
-     before calling us again, so the builder's buffer can be shared. *)
-  Ppp_hw.Engine.Packet (Ppp_hw.Trace.Builder.view b)
+     before calling us again, so the builder's buffer can be shared. The
+     view is the pooled record inside [t.item] — refreshing it and
+     returning the prebuilt item keeps this path allocation-free. *)
+  let (_ : Ppp_hw.Trace.t) = Ppp_hw.Trace.Builder.view b in
+  t.item

@@ -31,6 +31,7 @@ type report = {
   quick : bool;
   warmup_cycles : int;
   measure_cycles : int;
+  batch : int;
   workloads : measurement list;
   hit : hit_path;
 }
@@ -60,6 +61,21 @@ let trajectory =
          trace decode + single-pass victim_slot";
       contended_ops_per_sec = 4.536e6;
       contended_bytes_per_op = 13.2;
+      hit_path_bytes_per_access = 1.2e-5;
+    };
+    {
+      (* Wall-clock measured on a noticeably slower container day than the
+         previous point (its spin calibration ran ~30% behind); the
+         like-for-like wins of this round are the engine window going
+         allocation-free (13.2 -> ~0 B/op, the residue is the measurement's
+         own float boxing) and the probed workload closing on contended
+         (3.74e6 vs 3.74e6 ops/s in the same gate run — the per-op
+         sample-deadline check is now folded into the burst bound). *)
+      label =
+        "burst engine: run-ahead horizon batching, flat two-min scan \
+         scheduler, way-predicted cache probes, merged L3 find-or-victim";
+      contended_ops_per_sec = 3.87e6;
+      contended_bytes_per_op = 0.05;
       hit_path_bytes_per_access = 1.2e-5;
     };
   ]
@@ -115,7 +131,7 @@ let measure ~(params : Runner.params) ~runs ~probe name specs =
     let a0 = Gc.allocated_bytes () in
     let t0 = wall () in
     let results =
-      Ppp_hw.Engine.run ?probe hier ~flows
+      Ppp_hw.Engine.run ?probe ~batch:params.Runner.batch hier ~flows
         ~warmup_cycles:params.Runner.warmup_cycles
         ~measure_cycles:params.Runner.measure_cycles
     in
@@ -182,9 +198,10 @@ let audit_hit_path ~accesses =
 let target = Ppp_apps.App.IP
 let competitor = Ppp_apps.App.MON
 
-let run ?(quick = false) ?(runs = if quick then 1 else 3) () =
+let run ?(quick = false) ?(runs = if quick then 1 else 3)
+    ?(batch = Runner.default_params.Runner.batch) () =
   let params =
-    let p = Runner.default_params in
+    let p = { Runner.default_params with Runner.batch = batch } in
     if quick then
       {
         p with
@@ -206,6 +223,7 @@ let run ?(quick = false) ?(runs = if quick then 1 else 3) () =
     quick;
     warmup_cycles = params.Runner.warmup_cycles;
     measure_cycles = params.Runner.measure_cycles;
+    batch = params.Runner.batch;
     workloads =
       [
         measure ~params ~runs ~probe:false "solo" solo;
@@ -232,13 +250,14 @@ let json_of_measurement m =
 let to_json r =
   Ppp_telemetry.Json.Obj
     [
-      ("schema", Ppp_telemetry.Json.Str "ppp-bench-engine/1");
+      ("schema", Ppp_telemetry.Json.Str "ppp-bench-engine/2");
       ("tool", Ppp_telemetry.Json.Str "bench --perf-gate");
       ("config", Ppp_telemetry.Json.Str r.config);
       ("seed", Ppp_telemetry.Json.Int r.seed);
       ("quick", Ppp_telemetry.Json.Bool r.quick);
       ("warmup_cycles", Ppp_telemetry.Json.Int r.warmup_cycles);
       ("measure_cycles", Ppp_telemetry.Json.Int r.measure_cycles);
+      ("batch", Ppp_telemetry.Json.Int r.batch);
       ("workloads", Ppp_telemetry.Json.Arr (List.map json_of_measurement r.workloads));
       ( "hit_path",
         Ppp_telemetry.Json.Obj
@@ -269,5 +288,5 @@ let to_json r =
 let required_keys =
   [
     "schema"; "tool"; "config"; "seed"; "quick"; "warmup_cycles";
-    "measure_cycles"; "workloads"; "hit_path"; "trajectory";
+    "measure_cycles"; "batch"; "workloads"; "hit_path"; "trajectory";
   ]

@@ -33,6 +33,7 @@ type report = {
   quick : bool;
   warmup_cycles : int;
   measure_cycles : int;
+  batch : int;  (** engine burst budget the workloads ran with *)
   workloads : measurement list;
   hit : hit_path;
 }
@@ -49,9 +50,11 @@ val trajectory : trajectory_point list
     per optimization round, oldest first. Kept as code so the JSON can be
     regenerated without losing it. *)
 
-val run : ?quick:bool -> ?runs:int -> unit -> report
+val run : ?quick:bool -> ?runs:int -> ?batch:int -> unit -> report
 (** [quick] quarters the warmup/measure windows and defaults [runs] to 1
-    (CI smoke); the full gate defaults to best-of-3. *)
+    (CI smoke); the full gate defaults to best-of-3. [batch] sets the
+    engine burst budget (default {!Runner.default_params}'s); it changes
+    only wall-clock, never simulation results. *)
 
 val to_json : report -> Ppp_telemetry.Json.t
 

@@ -15,6 +15,7 @@ type params = {
   seed : int;
   warmup_cycles : int;
   measure_cycles : int;
+  batch : int;
   cell : string;
 }
 
@@ -24,6 +25,7 @@ let default_params =
     seed = 42;
     warmup_cycles = 3_000_000;
     measure_cycles = 10_000_000;
+    batch = 32;
     cell = "";
   }
 
@@ -33,6 +35,7 @@ let quick_params =
     seed = 42;
     warmup_cycles = 300_000;
     measure_cycles = 1_000_000;
+    batch = 32;
     cell = "";
   }
 
@@ -100,7 +103,7 @@ let run ?(params = default_params) ?probe ?wrap specs =
           }
   in
   let results =
-    Ppp_hw.Engine.run ?probe hier ~flows
+    Ppp_hw.Engine.run ?probe ~batch:params.batch hier ~flows
       ~warmup_cycles:params.warmup_cycles
       ~measure_cycles:params.measure_cycles
   in

@@ -23,6 +23,10 @@ type params = {
   seed : int;
   warmup_cycles : int;
   measure_cycles : int;
+  batch : int;
+      (** Engine burst budget: how many trace ops a scheduled core may retire
+          per scheduling decision (see [Engine.run ?batch]). A pure execution
+          knob — results are byte-identical for every value >= 1. *)
   cell : string;
       (** Telemetry label of the experiment cell this run belongs to
           (e.g. "pair/IP/MON"); "" for unlabeled ad-hoc runs. Only consumed
@@ -30,7 +34,7 @@ type params = {
 }
 
 val default_params : params
-(** scaled machine, seed 42, 3M cycles warmup, 10M measured. *)
+(** scaled machine, seed 42, 3M cycles warmup, 10M measured, batch 32. *)
 
 val quick_params : params
 (** Shorter window for tests. *)

@@ -8,6 +8,10 @@ type t = {
   stamp : int array; (* LRU timestamps *)
   dirty_bits : Bytes.t;
   auxs : int array;
+  mru : int array;
+      (* per set: the way of the last hit or fill — way prediction for
+         [probe]. Purely an accelerator: a stale entry just falls through
+         to the full scan, so it never changes what a lookup returns. *)
   mutable tick : int;
   mutable valid : int;
 }
@@ -38,6 +42,7 @@ let create geo =
     stamp = Array.make n 0;
     dirty_bits = Bytes.make n '\000';
     auxs = Array.make n 0;
+    mru = Array.make nsets 0;
     tick = 0;
     valid = 0;
   }
@@ -53,13 +58,27 @@ let base t line = set_of_line t line * t.geo.ways
    one to three of these way scans. Sentinel returns (no option box), unsafe
    reads, and a flat while-loop (a local recursive function would cost a
    closure per probe without flambda) keep the hit path allocation-free;
-   indices are in range by construction (base + w < nsets * ways). *)
+   indices are in range by construction (base + w < nsets * ways).
+
+   The per-set way prediction in [mru] resolves the common re-hit — packet
+   processing touches the same handful of lines over and over — in one
+   compare instead of a scan. A mispredict falls through to the scan, so
+   prediction state can never change a result. *)
 let[@inline] probe t line =
-  let b = base t line in
-  let last = b + t.geo.ways - 1 in
-  let i = ref b in
-  while !i <= last && Array.unsafe_get t.tags !i <> line do incr i done;
-  if !i <= last then !i else none
+  let s = set_of_line t line in
+  let b = s * t.geo.ways in
+  let p = b + Array.unsafe_get t.mru s in
+  if Array.unsafe_get t.tags p = line then p
+  else begin
+    let last = b + t.geo.ways - 1 in
+    let i = ref b in
+    while !i <= last && Array.unsafe_get t.tags !i <> line do incr i done;
+    if !i <= last then begin
+      Array.unsafe_set t.mru s (!i - b);
+      !i
+    end
+    else none
+  end
 
 let[@inline] touch t i =
   t.tick <- t.tick + 1;
@@ -102,11 +121,57 @@ let victim_slot t line =
   done;
   if !victim >= 0 then !victim else !lru
 
+(* [find] and [victim_slot] in one pass over the set, for the L3 miss path
+   (which always needs one or the other): a hit behaves exactly like [find]
+   (touch, way prediction); a miss returns the way [fill] must overwrite,
+   encoded as [-2 - slot] to keep the result an immediate int. The victim
+   choice — first invalid way, else first-scanned LRU way — replicates
+   [victim_slot] decision for decision. *)
+let find_or_victim t line =
+  let ways = t.geo.ways in
+  let s = set_of_line t line in
+  let b = s * ways in
+  let p = b + Array.unsafe_get t.mru s in
+  if Array.unsafe_get t.tags p = line then begin
+    touch t p;
+    p
+  end
+  else begin
+    let hit = ref (-1) in
+    let invalid = ref (-1) in
+    let lru = ref b in
+    let lru_stamp = ref (Array.unsafe_get t.stamp b) in
+    let w = ref 0 in
+    while !hit < 0 && !w < ways do
+      let i = b + !w in
+      let tag = Array.unsafe_get t.tags i in
+      if tag = line then hit := i
+      else begin
+        if tag = -1 && !invalid = -1 then invalid := i;
+        let st = Array.unsafe_get t.stamp i in
+        if st < !lru_stamp then begin
+          lru := i;
+          lru_stamp := st
+        end
+      end;
+      incr w
+    done;
+    if !hit >= 0 then begin
+      Array.unsafe_set t.mru s (!hit - b);
+      touch t !hit;
+      !hit
+    end
+    else -2 - (if !invalid >= 0 then !invalid else !lru)
+  end
+
 let fill t ~slot ~dirty ~aux line =
   if Array.unsafe_get t.tags slot = -1 then t.valid <- t.valid + 1;
   Array.unsafe_set t.tags slot line;
   set_dirty t slot dirty;
   Array.unsafe_set t.auxs slot aux;
+  (* Point the set's way prediction at the freshly inserted line. *)
+  let s = slot / t.geo.ways in
+  Array.unsafe_set t.mru s (slot - (s * t.geo.ways));
   touch t slot
 
 let invalidate_slot t i =
@@ -142,5 +207,6 @@ let clear t =
   Array.fill t.stamp 0 (Array.length t.stamp) 0;
   Bytes.fill t.dirty_bits 0 (Bytes.length t.dirty_bits) '\000';
   Array.fill t.auxs 0 (Array.length t.auxs) 0;
+  Array.fill t.mru 0 t.nsets 0;
   t.tick <- 0;
   t.valid <- 0

@@ -67,6 +67,13 @@ val victim_slot : t -> int -> int
     {!dirty}, {!aux}) and performs any writeback before filling. [line]
     must not already be resident (checked). *)
 
+val find_or_victim : t -> int -> int
+(** {!find} and {!victim_slot} in a single scan of the set, for paths that
+    always need one or the other (the hierarchy's L3 lookup). A hit acts
+    exactly like {!find} (LRU promotion) and returns the slot; a miss
+    returns [-2 - v] where [v] is the slot {!victim_slot} would pick — the
+    line's LRU state is untouched, matching a plain missed {!find}. *)
+
 val fill : t -> slot:int -> dirty:bool -> aux:int -> int -> unit
 (** [fill t ~slot ~dirty ~aux line] makes [line] resident in [slot] as MRU,
     overwriting whatever the slot held. [slot] should come from

@@ -32,3 +32,8 @@ val delta_seconds : t -> float
 
 val cycles_to_seconds : t -> int -> float
 val seconds_to_cycles : t -> float -> int
+
+val compute_cycles : t -> int -> int
+(** [compute_cycles t n] is the core-cycle cost of [n] instructions of pure
+    compute: [n * compute_cpi], truncated, never below one cycle. The
+    engine's replay loop charges every compute op through this. *)

@@ -29,7 +29,6 @@ type result = {
 
 type core_state = {
   flow : flow;
-  idx : int; (* position in the input flow list; the heap tie-breaker *)
   core : int; (* flow.core, cached to spare an indirection per memory op *)
   ctr : Counters.t; (* the core's live counters, resolved once *)
   mutable time : int;
@@ -97,8 +96,9 @@ let fetch st =
   if is_packet then st.pkt_start <- st.time;
   st.pos <- 0
 
-let run ?probe hier ~flows ~warmup_cycles ~measure_cycles =
+let run ?probe ?(batch = 32) hier ~flows ~warmup_cycles ~measure_cycles =
   if flows = [] then invalid_arg "Engine.run: no flows";
+  if batch < 1 then invalid_arg "Engine.run: batch must be >= 1";
   (match probe with
   | Some p when p.sample_cycles < 1 ->
       invalid_arg "Engine.run: sample_cycles must be >= 1"
@@ -113,11 +113,10 @@ let run ?probe hier ~flows ~warmup_cycles ~measure_cycles =
   let costs = Hierarchy.costs hier in
   let states =
     List.mapi
-      (fun idx (flow : flow) ->
+      (fun _idx (flow : flow) ->
         let st =
           {
             flow;
-            idx;
             core = flow.core;
             ctr = Hierarchy.counters hier flow.core;
             time = 0;
@@ -225,109 +224,157 @@ let run ?probe hier ~flows ~warmup_cycles ~measure_cycles =
        else if st.sampling && st.samp_next < window_end then st.samp_next
        else window_end)
   in
-  (* One trace operation, decoded straight from the packed word: no variant
-     construction, no repeated trace indexing, no allocation. The snapshot
-     call at the end is the only non-arithmetic work on the common path,
-     and it reduces to three cheap comparisons between boundaries. *)
-  let step st =
-    st.ops_done <- st.ops_done + 1;
-    let w = Trace.raw st.trace st.pos in
-    let kc = Trace.raw_kind w in
-    if kc = Trace.k_read || kc = Trace.k_write then begin
-      let lat =
-        Hierarchy.access hier ~core:st.core ~write:(kc = Trace.k_write)
-          ~fn:(Trace.raw_fn w) ~addr:(Trace.raw_payload w) ~now:st.time
-      in
-      st.time <- st.time + lat
-    end
-    else if kc = Trace.k_compute then begin
-      let payload = Trace.raw_payload w in
-      st.pend_instr <- st.pend_instr + payload;
-      st.time <-
-        st.time
-        + max 1 (int_of_float (float_of_int payload *. costs.Costs.compute_cpi))
-    end
-    else if kc = Trace.k_stall then st.time <- st.time + Trace.raw_payload w
-    else Hierarchy.dma_write hier ~addr:(Trace.raw_payload w) ~now:st.time;
-    st.pos <- st.pos + 1;
-    if st.pos >= st.len then begin
-      if st.is_packet then begin
-        st.packets_done <- st.packets_done + 1;
-        st.pend_packets <- st.pend_packets + 1;
-        (* Latency tracked for packets completing inside the window. *)
-        if st.warm_done && not st.end_done then begin
-          Ppp_util.Histogram.record st.latency (st.time - st.pkt_start);
-          (* The packet belongs to the slice that closes at or after this
-             completion time. *)
-          if st.sampling then
-            Ppp_util.Histogram.record st.samp_latency (st.time - st.pkt_start)
+  (* One burst: execute a run of the heap root's trace ops entirely on
+     locals — no record stores, no heap fix-up, no repeated trace indexing
+     — until the root's clock reaches [bound] or [batch] ops have run.
+     [bound] is the exclusive time horizon up to which the root is
+     guaranteed to remain the globally least-advanced core, so every op
+     executed here lands in exactly the slot the per-op scheduler would
+     have given it. [batch] only shortens a run whose order is already
+     fixed by (time, idx): it can never change an observable result, it
+     just tunes how much work amortizes each heap fix-up and write-back.
+
+     The boundary machinery is folded into a single local limit:
+     [stop = min bound next_check], so the tight loop spends one compare
+     per op on scheduling, snapshots, sampling and window edges combined
+     (the per-op engine paid a separate snapshot check here). *)
+  let burst st bound =
+    let core = st.core in
+    let ops = ref (Trace.raw_ops st.trace) in
+    let len = ref st.len in
+    let pos = ref st.pos in
+    let time = ref st.time in
+    let pend_instr = ref st.pend_instr in
+    let budget = ref batch in
+    let stop =
+      ref (let nc = st.next_check in if nc < bound then nc else bound)
+    in
+    let running = ref true in
+    while !running do
+      while !time < !stop && !budget > 0 do
+        decr budget;
+        let w = Array.unsafe_get !ops !pos in
+        let kc = Trace.raw_kind w in
+        if kc = Trace.k_read || kc = Trace.k_write then begin
+          let lat =
+            Hierarchy.access hier ~core ~write:(kc = Trace.k_write)
+              ~fn:(Trace.raw_fn w) ~addr:(Trace.raw_payload w) ~now:!time
+          in
+          time := !time + lat
         end
+        else if kc = Trace.k_compute then begin
+          let payload = Trace.raw_payload w in
+          pend_instr := !pend_instr + payload;
+          time := !time + Costs.compute_cycles costs payload
+        end
+        else if kc = Trace.k_stall then time := !time + Trace.raw_payload w
+        else Hierarchy.dma_write hier ~addr:(Trace.raw_payload w) ~now:!time;
+        incr pos;
+        if !pos >= !len then begin
+          (* End of trace. The bookkeeping and the source may read engine
+             state (control elements read their own live counters), so the
+             locals go back into [st] first; and the snapshot check must
+             run before [fetch] — a monitor's probe callback feeds the
+             throttle that the source consults (the closed loop). All of
+             this is per-packet work, off the per-op path. *)
+          st.time <- !time;
+          st.pos <- !pos;
+          st.pend_instr <- !pend_instr;
+          if st.is_packet then begin
+            st.packets_done <- st.packets_done + 1;
+            st.pend_packets <- st.pend_packets + 1;
+            (* Latency tracked for packets completing inside the window. *)
+            if st.warm_done && not st.end_done then begin
+              Ppp_util.Histogram.record st.latency (!time - st.pkt_start);
+              (* The packet belongs to the slice that closes at or after
+                 this completion time. *)
+              if st.sampling then
+                Ppp_util.Histogram.record st.samp_latency
+                  (!time - st.pkt_start)
+            end
+          end;
+          if !time >= st.next_check then snapshot st;
+          fetch st;
+          ops := Trace.raw_ops st.trace;
+          len := st.len;
+          pos := 0;
+          pend_instr := st.pend_instr;
+          stop := (let nc = st.next_check in if nc < bound then nc else bound)
+        end
+      done;
+      st.time <- !time;
+      st.pos <- !pos;
+      st.pend_instr <- !pend_instr;
+      (* Crossing [next_check] mid-trace snapshots here, after the op that
+         crossed and before any other core runs — same instant as the
+         per-op engine. The snapshot flushes pending counters, so the
+         local accumulator must restart from the flushed field. *)
+      if !time >= st.next_check then begin
+        snapshot st;
+        pend_instr := st.pend_instr
       end;
-      if st.time >= st.next_check then snapshot st;
-      fetch st
-    end
-    else if st.time >= st.next_check then snapshot st
-  in
-  (* Scheduling: an indexed binary min-heap over core states, keyed on
-     (local time, input index). The root is exactly what the old O(cores)
-     scan picked — the lowest-index core among those with minimal time —
-     so replay order, and with it every golden snapshot, is unchanged.
-     Stepping only ever grows the root's key, so one sift-down per op
-     restores the invariant: O(log cores) against the scan's O(cores). *)
-  let heap = Array.copy states in
-  (* Flat loop, not a local recursive function: without flambda a local
-     [rec go] capturing the sifted element costs a closure per call — one
-     allocation per engine op, by far the hot path's largest. Non-escaping
-     refs unbox, and the (time, idx) order is compared inline rather than
-     through a closure. Indices stay below [n] by construction. *)
-  let sift_down i0 =
-    let x = heap.(i0) in
-    let xt = x.time and xi = x.idx in
-    let i = ref i0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 in
-      if l < n then begin
-        let c =
-          if l + 1 < n then begin
-            let a = Array.unsafe_get heap (l + 1)
-            and b = Array.unsafe_get heap l in
-            if a.time < b.time || (a.time = b.time && a.idx < b.idx) then l + 1
-            else l
-          end
-          else l
-        in
-        let cs = Array.unsafe_get heap c in
-        if cs.time < xt || (cs.time = xt && cs.idx < xi) then begin
-          Array.unsafe_set heap !i cs;
-          i := c
-        end
-        else begin
-          Array.unsafe_set heap !i x;
-          continue := false
-        end
-      end
-      else begin
-        Array.unsafe_set heap !i x;
-        continue := false
+      let nc = st.next_check in
+      stop := (if nc < bound then nc else bound);
+      if !time >= bound || !budget = 0 then begin
+        (* [ops_done] feeds only the final result, so it is settled once
+           per burst rather than once per op. *)
+        st.ops_done <- st.ops_done + (batch - !budget);
+        running := false
       end
     done
   in
-  for i = (n / 2) - 1 downto 0 do
-    sift_down i
+  (* Scheduling: a flat array of core clocks in input order, scanned once
+     per burst for the minimum and second-minimum. The scan order makes the
+     (time, idx) tie-break implicit — a strict [<] keeps the first (lowest
+     index) of equal clocks — so the pick is exactly the per-op engine's.
+     With bursting, the scan runs once per ~batch of ops; for the core
+     counts the simulator models (a machine's worth, not thousands) a scan
+     over one cache line of ints beats a pointer-chasing heap, and it
+     yields the run-ahead horizon (the second-smallest key) for free. *)
+  let times = Array.make n 0 in
+  for i = 0 to n - 1 do
+    times.(i) <- states.(i).time
   done;
-  (* Advance the globally least-advanced core until every core has crossed
-     the window end (the root is the global minimum, so when it crosses,
-     all have). *)
-  let rec loop () =
-    let st = Array.unsafe_get heap 0 in
-    if st.time < window_end then begin
-      step st;
-      sift_down 0;
-      loop ()
+  let continue_ = ref true in
+  while !continue_ do
+    (* One pass: [m] the scheduled core (first minimum), [st2] the
+       second-smallest clock, [s] its index. *)
+    let m = ref 0 in
+    let mt = ref (Array.unsafe_get times 0) in
+    let s = ref 0 in
+    let st2 = ref max_int in
+    for i = 1 to n - 1 do
+      let t = Array.unsafe_get times i in
+      if t < !mt then begin
+        s := !m;
+        st2 := !mt;
+        m := i;
+        mt := t
+      end
+      else if t < !st2 then begin
+        s := i;
+        st2 := t
+      end
+    done;
+    if !mt >= window_end then continue_ := false
+    else begin
+      let st = Array.unsafe_get states !m in
+      (* Run-ahead horizon: the scheduled core stays the global minimum
+         while its (time, idx) key is below the runner-up's. When the
+         runner-up has the larger index, the scheduled core also wins the
+         tie at [st2] itself, extending the horizon one cycle. *)
+      let bound =
+        if n = 1 then window_end
+        else if !m < !s then
+          if !st2 >= window_end then window_end
+          else if !st2 = max_int then window_end
+          else min window_end (!st2 + 1)
+        else min window_end !st2
+      in
+      burst st bound;
+      Array.unsafe_set times !m st.time
     end
-  in
-  loop ();
+  done;
   (* Finalize any snapshot not yet taken (time passed end during final op). *)
   Array.iter snapshot states;
   Array.to_list

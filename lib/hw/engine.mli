@@ -73,9 +73,19 @@ type result = {
 
 val run :
   ?probe:probe ->
+  ?batch:int ->
   Hierarchy.t -> flows:flow list -> warmup_cycles:int -> measure_cycles:int ->
   result list
 (** Runs the given flows (each on a distinct core; checked) and returns one
     result per flow, in input order. When [probe] is given, every core's
     measurement window is additionally delivered as contiguous time slices
-    through [probe.on_sample]; sampling does not perturb the simulation. *)
+    through [probe.on_sample]; sampling does not perturb the simulation.
+
+    [batch] (default 32; must be >= 1) caps how many trace operations the
+    scheduled core executes per scheduling decision. The engine bursts the
+    least-advanced core up to its run-ahead horizon — the first simulated
+    time at which any other core would win the (time, index) order — so the
+    interleaving is exactly the per-op schedule no matter the cap: every
+    result, probe sample and source call is byte-identical for every
+    [batch] value. Larger batches only amortize the scheduler and state
+    write-back over more ops. *)

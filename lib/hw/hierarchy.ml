@@ -212,7 +212,11 @@ let access t ~core ~write ~fn ~addr ~now =
     end
     else begin
       let l3 = t.l3s.(socket) in
-      let slot = Cache.find l3 line in
+      (* Hit slot or victim slot in one scan of the set — the miss path
+         needs the victim anyway, and the two-scan shape paid for it
+         twice. *)
+      let fv = Cache.find_or_victim l3 line in
+      let slot = fv in
       if slot >= 0 then begin
         (* L3 hit. *)
         t.miss_streak.(core) <- false;
@@ -259,8 +263,10 @@ let access t ~core ~write ~fn ~addr ~now =
         t.miss_streak.(core) <- true;
         (* Fill L3; inclusion: back-invalidate private copies of the victim
            across the socket. Victim state is read in place before the fill
-           overwrites the slot. *)
-        let vs = Cache.victim_slot l3 line in
+           overwrites the slot. The victim way came out of the combined
+           lookup scan above; nothing between the scan and here touches the
+           L3, so the choice is the one [victim_slot] would make now. *)
+        let vs = -2 - fv in
         if Cache.slot_valid l3 vs then begin
           let victim_line = Cache.line l3 vs in
           let victim_dirty = Cache.dirty l3 vs in

@@ -1,6 +1,9 @@
 type op_kind = Compute | Read | Write | Stall | Dma
 
-type t = { ops : int array; len : int }
+(* Mutable so [Builder.view] can refresh one pooled record in place instead
+   of allocating per packet; [t] is abstract and finished traces are never
+   mutated through the public surface. *)
+type t = { mutable ops : int array; mutable len : int }
 
 let make_trace ops len = { ops; len }
 
@@ -41,6 +44,13 @@ let[@inline] raw_kind w = w land kind_mask
 let[@inline] raw_fn w = (w lsr kind_bits) land fn_mask
 let[@inline] raw_payload w = w lsr payload_shift
 
+(* The whole packed vector, decoded in one step: the engine's burst loop
+   grabs the array once per fetched trace and replays straight off it, so
+   the per-op path is a single [Array.unsafe_get] with no record
+   indirection. Aliases the trace's buffer — read-only, and only indices
+   [0, length) hold ops. *)
+let[@inline] raw_ops t = t.ops
+
 let iter t f =
   for i = 0 to t.len - 1 do
     f (kind t i) (fn t i) (payload t i)
@@ -68,10 +78,19 @@ let instructions t =
 
 module Builder = struct
   type trace = t
-  type t = { mutable ops : int array; mutable len : int }
+
+  type t = {
+    mutable ops : int array;
+    mutable len : int;
+    viewed : trace;  (* pooled record refreshed and returned by [view] *)
+  }
 
   let create ?(initial_capacity = 256) () =
-    { ops = Array.make (max 16 initial_capacity) 0; len = 0 }
+    {
+      ops = Array.make (max 16 initial_capacity) 0;
+      len = 0;
+      viewed = make_trace [||] 0;
+    }
 
   let clear b = b.len <- 0
 
@@ -92,9 +111,13 @@ module Builder = struct
   let length b = b.len
   let finish b = make_trace (Array.sub b.ops 0 b.len) b.len
 
-  (* Zero-copy handoff: the trace aliases the builder's buffer, so it is
-     valid only until the next [clear]/push on [b]. Flow sources use this —
-     the engine fully replays a flow's trace before asking that flow's
-     source (and thus its builder) for the next one. *)
-  let view b = make_trace b.ops b.len
+  (* Zero-copy, zero-allocation handoff: the returned trace is one pooled
+     record per builder, refreshed in place, and its buffer aliases the
+     builder's — both are valid only until the next [clear]/push on [b].
+     Flow sources use this: the engine fully replays a flow's trace before
+     asking that flow's source (and thus its builder) for the next one. *)
+  let view b =
+    b.viewed.ops <- b.ops;
+    b.viewed.len <- b.len;
+    b.viewed
 end

@@ -34,6 +34,12 @@ val raw : t -> int -> int
 (** The packed word of op [i]. Bounds-unchecked: valid only for
     [0 <= i < length t]. *)
 
+val raw_ops : t -> int array
+(** The whole packed vector in one decode step, for the engine's burst
+    loop: replaying indexes this array directly, sparing the record
+    indirection of {!raw} per op. Aliases the trace's buffer — treat as
+    read-only; only indices [0, length t) hold ops. *)
+
 val raw_kind : int -> int
 (** Kind code of a packed word: one of [k_compute]..[k_dma]. *)
 
@@ -83,8 +89,10 @@ module Builder : sig
 
   val view : t -> trace
   (** Zero-copy [finish]: the returned trace aliases the builder's buffer
-      and is invalidated by the next [clear] or append. For sources that
-      rebuild their trace only after the engine has fully replayed the
-      previous one (the per-flow packet cycle); use [finish] when the trace
-      must outlive the builder. *)
+      and is invalidated by the next [clear] or append — including its
+      identity, which is one pooled record per builder refreshed in place
+      (so [view] allocates nothing). For sources that rebuild their trace
+      only after the engine has fully replayed the previous one (the
+      per-flow packet cycle); use [finish] when the trace must outlive the
+      builder. *)
 end

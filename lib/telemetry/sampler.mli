@@ -2,7 +2,13 @@
 
     One sampler instruments one [Engine.run] (one experiment cell). The
     engine is a sequential simulation, so a sampler needs no locking; the
-    resulting series are deterministic in content and order. *)
+    resulting series are deterministic in content and order.
+
+    Slice boundaries live on the simulated clock: the engine delivers a
+    core's sample at the first op that carries its local time across the
+    slice edge, whatever burst budget ([Engine.run ?batch]) the run uses —
+    bursts are bounded by the next pending boundary, so batching never
+    moves, merges or drops a sample. *)
 
 type t
 

@@ -29,9 +29,18 @@ let jenkins_mix a b c =
   let c = (c - a - b) lxor (b lsr 5) in
   (a land mask62, b land mask62, c land mask62)
 
+(* [jenkins_mix] without the result tuple (an allocation per call without
+   flambda): only the [c] lane, on the per-packet flow-hash path. Must stay
+   bit-identical to [let _, _, c = jenkins_mix h1 h2 0x9E3779B9 in c]. *)
 let combine h1 h2 =
-  let _, _, c = jenkins_mix h1 h2 0x9E3779B9 in
-  c
+  let a = h1 and b = h2 and c = 0x9E3779B9 in
+  let a = (a - b - c) lxor (c lsr 13) in
+  let b = (b - c - a) lxor (a lsl 8) in
+  let c = (c - a - b) lxor (b lsr 13) in
+  let a = (a - b - c) lxor (c lsr 12) in
+  let b = (b - c - a) lxor (a lsl 16) in
+  let c = (c - a - b) lxor (b lsr 5) in
+  c land mask62
 
 let crc_table =
   lazy

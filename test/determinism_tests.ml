@@ -7,12 +7,13 @@
 open Ppp_core
 open Ppp_experiments
 
-let params ~seed =
+let params ?(batch = 32) ~seed () =
   {
     Runner.config = Ppp_hw.Machine.tiny;
     seed;
     warmup_cycles = 100_000;
     measure_cycles = 300_000;
+    batch;
     cell = "";
   }
 
@@ -21,12 +22,13 @@ let with_jobs n f =
   Parallel.set_jobs n;
   Fun.protect ~finally:(fun () -> Parallel.set_jobs prev) f
 
-let render id ~seed ~jobs =
+let render ?batch id ~seed ~jobs =
   match Registry.find id with
   | None -> Alcotest.failf "experiment %s not registered" id
   | Some e ->
       with_jobs jobs (fun () ->
-          (e.Registry.run ~params:(params ~seed) ()).Ppp_experiments.Output.text)
+          (e.Registry.run ~params:(params ?batch ~seed ()) ())
+            .Ppp_experiments.Output.text)
 
 let check_experiment id () =
   let sequential = render id ~seed:42 ~jobs:1 in
@@ -40,6 +42,16 @@ let check_experiment id () =
   Alcotest.(check bool)
     (id ^ ": different seed, different output") true
     (not (String.equal sequential other_seed))
+
+(* The two execution knobs together: a parallel batched run must render the
+   same bytes as a sequential unbatched one — the golden-equality contract
+   behind `repro ... --jobs N --batch M`. *)
+let test_jobs_batch_golden_equality () =
+  let baseline = render "fig2" ~seed:42 ~jobs:1 ~batch:1 in
+  let tuned = render "fig2" ~seed:42 ~jobs:4 ~batch:32 in
+  Alcotest.(check string)
+    "fig2: --jobs 4 --batch 32 byte-identical to --jobs 1 --batch 1" baseline
+    tuned
 
 let test_rng_derivation () =
   (* The seed-derivation function itself: pure, label- and seed-sensitive. *)
@@ -97,4 +109,6 @@ let tests =
       (check_experiment "fig2");
     Alcotest.test_case "fig10 deterministic across jobs" `Slow
       (check_experiment "fig10");
+    Alcotest.test_case "fig2 golden equality across jobs x batch" `Slow
+      test_jobs_batch_golden_equality;
   ]

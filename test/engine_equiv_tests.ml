@@ -70,9 +70,20 @@ let run_once engine ~seed ~kind_ixs ~sample_cycles =
   in
   (List.map result_fingerprint results, List.rev !samples)
 
+(* The engine's contract is that [batch] can never be observable: the
+   run-ahead horizon fixes the interleaving and the batch size only caps
+   burst length. So every batch size — including 1, the degenerate
+   op-at-a-time case — must match the reference byte for byte. *)
+let batches = [ 1; 2; 7; 32; 256 ]
+
+let batched b ?probe hier ~flows ~warmup_cycles ~measure_cycles =
+  Engine.run ?probe ~batch:b hier ~flows ~warmup_cycles ~measure_cycles
+
 let prop_equiv =
   QCheck.Test.make ~count:12
-    ~name:"optimized engine = reference engine (results + probe samples)"
+    ~name:
+      "batched engine = reference engine, batch in {1,2,7,32,256} (results \
+       + probe samples)"
     QCheck.(
       triple
         (list_of_size Gen.(int_range 1 4) (int_bound 100))
@@ -82,8 +93,10 @@ let prop_equiv =
       let reference =
         run_once Ref_engine.run ~seed ~kind_ixs ~sample_cycles
       in
-      let optimized = run_once Engine.run ~seed ~kind_ixs ~sample_cycles in
-      reference = optimized)
+      List.for_all
+        (fun b ->
+          run_once (batched b) ~seed ~kind_ixs ~sample_cycles = reference)
+        batches)
 
 (* Same check on the one deterministic corner qcheck rarely draws: every
    realistic type at once, filling all four tiny cores. *)
@@ -92,12 +105,16 @@ let test_equiv_full_machine () =
   let reference =
     run_once Ref_engine.run ~seed:7 ~kind_ixs ~sample_cycles:(Some 7_500)
   in
-  let optimized =
-    run_once Engine.run ~seed:7 ~kind_ixs ~sample_cycles:(Some 7_500)
-  in
-  Alcotest.(check bool)
-    "4-core co-run identical (results + samples)" true
-    (reference = optimized)
+  List.iter
+    (fun b ->
+      let optimized =
+        run_once (batched b) ~seed:7 ~kind_ixs ~sample_cycles:(Some 7_500)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "4-core co-run identical at batch %d" b)
+        true
+        (reference = optimized))
+    batches
 
 let tests =
   [

@@ -11,6 +11,7 @@ let fast =
     seed = 42;
     warmup_cycles = 400_000;
     measure_cycles = 1_200_000;
+    batch = 32;
     cell = "";
   }
 

@@ -9,6 +9,7 @@ let golden_params =
     seed = 42;
     warmup_cycles = 300_000;
     measure_cycles = 1_000_000;
+    batch = 32;
     cell = "";
   }
 

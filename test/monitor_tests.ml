@@ -13,6 +13,7 @@ let quick =
     seed = 42;
     warmup_cycles = 100_000;
     measure_cycles = 300_000;
+    batch = 32;
     cell = "";
   }
 
@@ -282,6 +283,32 @@ let test_monitor_jobs_determinism () =
   Alcotest.(check bool) "timeline is non-trivial" true
     (String.length c1 > 200)
 
+(* The engine's burst budget is a pure execution knob: the monitor sees the
+   same sample stream — hence the same alerts, verdicts and timeline, byte
+   for byte — whatever the batch. Catches any batching bug that moves a
+   slice boundary or reorders a probe delivery. *)
+let test_monitor_batch_determinism () =
+  let outputs b =
+    let det =
+      monitored_run
+        ~params:{ quick with Ppp_core.Runner.batch = b }
+        ~cell:"monitor-batch"
+        Ppp_apps.App.[ MON; IP ]
+    in
+    ( Report.timeline_csv det,
+      Ppp_telemetry.Json.to_string (Report.alerts_json det) )
+  in
+  let c1, a1 = outputs 1 in
+  List.iter
+    (fun b ->
+      let cb, ab = outputs b in
+      Alcotest.(check string)
+        (Printf.sprintf "monitor.csv: batch %d = batch 1" b) c1 cb;
+      Alcotest.(check string)
+        (Printf.sprintf "alerts.json: batch %d = batch 1" b) a1 ab)
+    [ 7; 32; 256 ];
+  Alcotest.(check bool) "timeline is non-trivial" true (String.length c1 > 200)
+
 let tests =
   [
     Alcotest.test_case "hysteresis arms and releases exactly at K" `Quick
@@ -294,4 +321,6 @@ let tests =
       test_monitor_experiment_story;
     Alcotest.test_case "monitor outputs byte-identical across --jobs" `Slow
       test_monitor_jobs_determinism;
+    Alcotest.test_case "monitor outputs byte-identical across --batch" `Slow
+      test_monitor_batch_determinism;
   ]

@@ -18,6 +18,7 @@ let quick =
     seed = 42;
     warmup_cycles = 100_000;
     measure_cycles = 300_000;
+    batch = 32;
     cell = "";
   }
 

@@ -89,6 +89,118 @@ let test_rng_exponential_positive () =
   let mean = !acc /. 5000.0 in
   Alcotest.(check bool) "mean near 3" true (mean > 2.7 && mean < 3.3)
 
+(* The pre-rewrite Int64 implementation of xoshiro256**, kept verbatim as
+   the oracle for the native-int generator: every consumer-visible draw must
+   match it bit for bit, or every seeded golden in the repo shifts. *)
+module Rng_ref = struct
+  type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+  let golden = 0x9E3779B97F4A7C15L
+
+  let splitmix64 state =
+    let z = Int64.add !state golden in
+    state := z;
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let create ~seed =
+    let state = ref (Int64.of_int seed) in
+    let s0 = splitmix64 state in
+    let s1 = splitmix64 state in
+    let s2 = splitmix64 state in
+    let s3 = splitmix64 state in
+    { s0; s1; s2; s3 }
+
+  let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+  let bits64 t =
+    let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+    let tmp = Int64.shift_left t.s1 17 in
+    t.s2 <- Int64.logxor t.s2 t.s0;
+    t.s3 <- Int64.logxor t.s3 t.s1;
+    t.s1 <- Int64.logxor t.s1 t.s2;
+    t.s0 <- Int64.logxor t.s0 t.s3;
+    t.s2 <- Int64.logxor t.s2 tmp;
+    t.s3 <- rotl t.s3 45;
+    result
+
+  let split t =
+    let state = ref (bits64 t) in
+    let s0 = splitmix64 state in
+    let s1 = splitmix64 state in
+    let s2 = splitmix64 state in
+    let s3 = splitmix64 state in
+    { s0; s1; s2; s3 }
+
+  let nonneg t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+  let int t n =
+    let bound = nonneg t in
+    if n land (n - 1) = 0 then bound land (n - 1)
+    else
+      let limit = max_int - (max_int mod n) in
+      let rec sample v = if v >= limit then sample (nonneg t) else v mod n in
+      sample bound
+
+  let float t x =
+    let mantissa = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+    x *. (mantissa *. 0x1.0p-53)
+
+  let bool t = Int64.logand (bits64 t) 1L = 1L
+  let byte t = Int64.to_int (Int64.logand (bits64 t) 0xFFL)
+end
+
+let test_rng_matches_int64_reference () =
+  List.iter
+    (fun seed ->
+      let a = Rng.create ~seed and b = Rng_ref.create ~seed in
+      for i = 1 to 2_000 do
+        (* Interleave every consumer so each one's bit extraction is pinned,
+           not just the raw stream. *)
+        match i mod 6 with
+        | 0 ->
+            Alcotest.(check int64) "bits64" (Rng_ref.bits64 b) (Rng.bits64 a)
+        | 1 ->
+            let n = 1 + (i mod 1000) in
+            Alcotest.(check int) "int" (Rng_ref.int b n) (Rng.int a n)
+        | 2 -> Alcotest.(check int) "byte" (Rng_ref.byte b) (Rng.byte a)
+        | 3 -> Alcotest.(check bool) "bool" (Rng_ref.bool b) (Rng.bool a)
+        | 4 ->
+            Alcotest.(check (float 0.0)) "float" (Rng_ref.float b 1.0)
+              (Rng.float a 1.0)
+        | _ ->
+            (* Powers of two take the masking fast path. *)
+            Alcotest.(check int) "int pow2" (Rng_ref.int b 4096) (Rng.int a 4096)
+      done)
+    [ 0; 1; 42; 0x51CC5EED; max_int / 3 ]
+
+let test_rng_split_matches_reference () =
+  let a = Rng.create ~seed:99 and b = Rng_ref.create ~seed:99 in
+  ignore (Rng.bits64 a : int64);
+  ignore (Rng_ref.bits64 b : int64);
+  let a' = Rng.split a and b' = Rng_ref.split b in
+  for _ = 1 to 64 do
+    Alcotest.(check int64) "split stream" (Rng_ref.bits64 b') (Rng.bits64 a');
+    Alcotest.(check int64) "parent stream" (Rng_ref.bits64 b) (Rng.bits64 a)
+  done
+
+let test_rng_draw_allocation_free () =
+  let rng = Rng.create ~seed:5 in
+  let sink = ref 0 in
+  (* Warm so the first-draw setup is off the measured path. *)
+  for _ = 1 to 100 do
+    sink := !sink + Rng.int rng 1000
+  done;
+  Gc.full_major ();
+  let a0 = Gc.allocated_bytes () in
+  for _ = 1 to 100_000 do
+    sink := !sink + Rng.int rng 1000 + Rng.byte rng
+  done;
+  let da = Gc.allocated_bytes () -. a0 in
+  ignore (Sys.opaque_identity !sink : int);
+  Alcotest.(check bool) "no allocation across 200k draws" true (da <= 512.0)
+
 (* --- Hashes --- *)
 
 let test_fnv_known () =
@@ -326,6 +438,12 @@ let tests =
     Alcotest.test_case "series monotonicity check" `Quick test_series_monotone;
     Alcotest.test_case "series knee" `Quick test_series_knee;
     Alcotest.test_case "histogram empty mean" `Quick test_histogram_empty_mean;
+    Alcotest.test_case "rng matches Int64 reference" `Quick
+      test_rng_matches_int64_reference;
+    Alcotest.test_case "rng split matches reference" `Quick
+      test_rng_split_matches_reference;
+    Alcotest.test_case "rng draws allocation-free" `Quick
+      test_rng_draw_allocation_free;
     QCheck_alcotest.to_alcotest prop_histogram_merge_union;
     QCheck_alcotest.to_alcotest prop_series_eval_within_bounds;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;
