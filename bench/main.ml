@@ -51,6 +51,13 @@ let metrics_dir =
       "Sample per-core counters during Part 1 and export series.csv / \
        spans.csv / manifest.json into DIR."
 
+let classifier =
+  Cli.string cli [ "--classifier" ] ~docv:"BACKEND"
+    ~doc:
+      "Slow-path backend for the classifier experiment (tss | range | \
+       all). Other experiments ignore it."
+    "all"
+
 let perf_gate_flag =
   Cli.flag cli [ "--perf-gate" ]
     ~doc:
@@ -76,6 +83,13 @@ let () =
   | a :: _ -> Cli.die cli (Printf.sprintf "unexpected argument %S" a));
   if !jobs < 0 then Cli.die cli "--jobs must be >= 0";
   if !batch < 1 then Cli.die cli "--batch must be >= 1";
+  if
+    !classifier <> "all"
+    && Ppp_classify.Classifier.kind_of_name !classifier = None
+  then
+    Cli.die cli
+      (Printf.sprintf "unknown --classifier backend %S (tss|range|all)"
+         !classifier);
   Ppp_core.Parallel.set_jobs !jobs
 
 let quick = !quick
@@ -84,7 +98,13 @@ let metrics_dir = !metrics_dir
 let batch = !batch
 
 let params =
-  let p = { Ppp_core.Runner.default_params with Ppp_core.Runner.batch = batch } in
+  let p =
+    {
+      Ppp_core.Runner.default_params with
+      Ppp_core.Runner.batch = batch;
+      classifier = !classifier;
+    }
+  in
   if quick then
     {
       p with
@@ -376,6 +396,15 @@ let perf_gate () =
   Printf.printf "hit-path   %d accesses  %.0f bytes  %.4f B/access  zero_alloc=%b\n"
     h.Ppp_core.Perf_gate.accesses h.Ppp_core.Perf_gate.allocated_bytes
     h.Ppp_core.Perf_gate.bytes_per_access h.Ppp_core.Perf_gate.zero_alloc;
+  let ft = report.Ppp_core.Perf_gate.flow_table in
+  Printf.printf
+    "flow-table %d lookups  %.0f%% hits  %.3e lookups/s  %.4f B/lookup  \
+     zero_alloc=%b\n"
+    ft.Ppp_core.Perf_gate.lookups
+    (100.0 *. ft.Ppp_core.Perf_gate.hit_fraction)
+    ft.Ppp_core.Perf_gate.lookups_per_sec
+    ft.Ppp_core.Perf_gate.bytes_per_lookup
+    ft.Ppp_core.Perf_gate.ft_zero_alloc;
   Printf.printf "wrote %s\n%!" out
 
 let () =

@@ -36,12 +36,26 @@ let params_args cli =
          cores, 1 = sequential). Output is byte-identical for any value."
       0
   in
+  let classifier =
+    Cli.string cli [ "--classifier" ] ~docv:"BACKEND"
+      ~doc:
+        "Slow-path backend for the classifier experiment (tss | range | \
+         all). Other experiments ignore it."
+      "all"
+  in
   fun () ->
     (match Ppp_hw.Machine.by_name !config with
     | None -> Cli.die cli (Printf.sprintf "unknown config %S" !config)
     | Some c ->
         if !jobs < 0 then Cli.die cli "--jobs must be >= 0";
         if !batch < 1 then Cli.die cli "--batch must be >= 1";
+        if
+          !classifier <> "all"
+          && Ppp_classify.Classifier.kind_of_name !classifier = None
+        then
+          Cli.die cli
+            (Printf.sprintf "unknown --classifier backend %S (tss|range|all)"
+               !classifier);
         Ppp_core.Parallel.set_jobs !jobs;
         let div = if !quick then 4 else 1 in
         {
@@ -51,6 +65,7 @@ let params_args cli =
           measure_cycles = !measure / div;
           batch = !batch;
           cell = "";
+          classifier = !classifier;
         })
 
 (* --- shared flags: telemetry (--trace / --metrics / --sample-cycles) --- *)

@@ -1,0 +1,219 @@
+open Ppp_simmem
+
+(* One indexed interval: the rule's destination range and its install
+   sequence number. Sorted by [i_lo] within an iSet; non-overlapping. *)
+type ival = { i_lo : int; i_hi : int; i_seq : int }
+
+type iset = {
+  ivals : ival Iarray.t;
+  (* Least-squares fit of position k against start address lo_k, with the
+     exact maximum rounding error computed over every start at build time.
+     slope >= 0 because the fit is over a sorted sequence. *)
+  slope : float;
+  intercept : float;
+  err : int;
+}
+
+type t = {
+  rules : Rule.t Iarray.t;
+  isets : iset array;
+  rest : int Iarray.t;  (* remainder: install seqs in order, linear scan *)
+  rest_len : int;
+  dir : int Iarray.t;  (* one descriptor line per structure *)
+  scratch : Ppp_hw.Trace.Builder.t;
+}
+
+let name = "range"
+let max_isets = 4
+
+(* Below this many leftover intervals, indexing stops paying for itself;
+   they join the remainder scan. *)
+let iset_cutoff = 4
+
+let fit (ivals : ival array) =
+  let n = Array.length ivals in
+  if n <= 1 then (0.0, 0.0)
+  else begin
+    let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+    for k = 0 to n - 1 do
+      let x = float_of_int ivals.(k).i_lo and y = float_of_int k in
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y)
+    done;
+    let fn = float_of_int n in
+    let det = (fn *. !sxx) -. (!sx *. !sx) in
+    if det = 0.0 then (0.0, 0.0)
+    else
+      let slope = ((fn *. !sxy) -. (!sx *. !sy)) /. det in
+      let intercept = (!sy -. (slope *. !sx)) /. fn in
+      (max 0.0 slope, intercept)
+  end
+
+let predict slope intercept n dst =
+  let p = int_of_float ((slope *. float_of_int dst) +. intercept +. 0.5) in
+  if p < 0 then 0 else if p >= n then n - 1 else p
+
+let build_iset ~heap (ivals : ival array) =
+  let n = Array.length ivals in
+  let slope, intercept = fit ivals in
+  let err = ref 0 in
+  for k = 0 to n - 1 do
+    let d = abs (predict slope intercept n ivals.(k).i_lo - k) in
+    if d > !err then err := d
+  done;
+  {
+    ivals =
+      Iarray.init heap ~elem_bytes:16 n (fun k -> ivals.(k));
+    slope;
+    intercept;
+    err = !err;
+  }
+
+let create ~heap (rules : Rule.t array) =
+  Array.iter Rule.validate rules;
+  let nrules = Array.length rules in
+  (* Greedy interval scheduling: repeatedly peel a maximal non-overlapping
+     subset of destination ranges (earliest-endpoint-first), each becoming
+     one iSet, until the iSet budget or the cutoff is hit. *)
+  let remaining = ref (List.init nrules (fun i -> i)) in
+  let isets = ref [] in
+  let continue = ref true in
+  while !continue && List.length !isets < max_isets
+        && List.length !remaining > iset_cutoff do
+    let sorted =
+      List.sort
+        (fun a b ->
+          let la, ha = Rule.dst_range rules.(a) in
+          let lb, hb = Rule.dst_range rules.(b) in
+          if ha <> hb then compare ha hb
+          else if la <> lb then compare la lb
+          else compare a b)
+        !remaining
+    in
+    let picked = ref [] and last_hi = ref (-1) and rest = ref [] in
+    List.iter
+      (fun seq ->
+        let lo, hi = Rule.dst_range rules.(seq) in
+        if lo > !last_hi then begin
+          picked := { i_lo = lo; i_hi = hi; i_seq = seq } :: !picked;
+          last_hi := hi
+        end
+        else rest := seq :: !rest)
+      sorted;
+    let picked = Array.of_list (List.rev !picked) in
+    if Array.length picked <= 1 then continue := false
+      (* no parallelism left to exploit: stop peeling *)
+    else begin
+      isets := build_iset ~heap picked :: !isets;
+      remaining := List.sort compare (List.rev !rest)
+    end
+  done;
+  let isets = Array.of_list (List.rev !isets) in
+  let rest = !remaining in
+  let rest_len = List.length rest in
+  let rest_arr = Iarray.create heap ~elem_bytes:8 (max 1 rest_len) 0 in
+  List.iteri (fun i seq -> Iarray.poke rest_arr i seq) rest;
+  let rules_arr =
+    Iarray.init heap ~elem_bytes:40 (max 1 nrules) (fun i ->
+        if i < nrules then rules.(i)
+        else
+          { Rule.prio = 0; src = 0; src_plen = 0; dst = 0; dst_plen = 0;
+            sport_lo = 0; sport_hi = 0; dport_lo = 0; dport_hi = 0; proto = 255;
+            action = 0 })
+  in
+  {
+    rules = rules_arr;
+    isets;
+    rest = rest_arr;
+    rest_len;
+    dir = Iarray.create heap ~elem_bytes:16 (max 1 (Array.length isets + 1)) 0;
+    scratch = Ppp_hw.Trace.Builder.create ();
+  }
+
+let isets t = Array.length t.isets
+let remainder t = t.rest_len
+
+let max_err t =
+  Array.fold_left (fun acc s -> max acc s.err) 0 t.isets
+
+(* Last k in [lo_idx, hi_idx] with ivals[k].i_lo <= dst, or -1. Every probe
+   is an instrumented read — the binary search's memory behaviour is the
+   point of the model (it bounds the number of these). *)
+let search_last_le (s : iset) b ~fn ~lo_idx ~hi_idx dst =
+  let lo = ref lo_idx and hi = ref hi_idx and ans = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let iv = Iarray.get s.ivals b ~fn mid in
+    Ppp_hw.Trace.Builder.compute b ~fn 3;
+    if iv.i_lo <= dst then begin
+      ans := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !ans
+
+let best_candidate t b ~fn (f : Ppp_net.Flowid.t) seq ~best_prio ~best_seq
+    ~best_act =
+  let r = Iarray.get t.rules b ~fn seq in
+  Ppp_hw.Trace.Builder.compute b ~fn 8;
+  if
+    Rule.matches r f
+    && Rule.better ~prio:r.Rule.prio ~seq ~than_prio:!best_prio
+         ~than_seq:!best_seq
+  then begin
+    best_prio := r.Rule.prio;
+    best_seq := seq;
+    best_act := r.Rule.action
+  end
+
+let lookup t b ~fn (f : Ppp_net.Flowid.t) =
+  let dst = f.Ppp_net.Flowid.dst in
+  let best_prio = ref min_int in
+  let best_seq = ref max_int in
+  let best_act = ref Rule.no_match in
+  Array.iteri
+    (fun si s ->
+      ignore (Iarray.get t.dir b ~fn si : int);
+      let n = Iarray.length s.ivals in
+      (* Model prediction plus bounded fix-up. The window provably contains
+         the answer (err is the exact max error over all starts and the fit
+         is monotone), but verify the boundary anyway and fall back to the
+         full range if the invariant is ever violated. *)
+      Ppp_hw.Trace.Builder.compute b ~fn 10;
+      let p = predict s.slope s.intercept n dst in
+      let lo_idx = max 0 (p - s.err - 1) in
+      let hi_idx = min (n - 1) (p + s.err + 1) in
+      let k = search_last_le s b ~fn ~lo_idx ~hi_idx dst in
+      let k =
+        let window_ok =
+          (k >= 0 || lo_idx = 0
+           || (Iarray.get s.ivals b ~fn lo_idx).i_lo > dst)
+          && (k < 0 || k < hi_idx || hi_idx = n - 1
+             || (Iarray.get s.ivals b ~fn (hi_idx + 1)).i_lo > dst)
+        in
+        if window_ok then
+          if k >= 0 then k
+          else if lo_idx > 0 then search_last_le s b ~fn ~lo_idx:0 ~hi_idx:(lo_idx - 1) dst
+          else -1
+        else search_last_le s b ~fn ~lo_idx:0 ~hi_idx:(n - 1) dst
+      in
+      if k >= 0 then begin
+        let iv = Iarray.get s.ivals b ~fn k in
+        if dst <= iv.i_hi then
+          best_candidate t b ~fn f iv.i_seq ~best_prio ~best_seq ~best_act
+      end)
+    t.isets;
+  (* Remainder: the firewall-style linear scan. *)
+  ignore (Iarray.get t.dir b ~fn (Array.length t.isets) : int);
+  for i = 0 to t.rest_len - 1 do
+    let seq = Iarray.get t.rest b ~fn i in
+    best_candidate t b ~fn f seq ~best_prio ~best_seq ~best_act
+  done;
+  !best_act
+
+let lookup_quiet t f =
+  Ppp_hw.Trace.Builder.clear t.scratch;
+  lookup t t.scratch ~fn:Ppp_hw.Fn.none f

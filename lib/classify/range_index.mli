@@ -1,0 +1,32 @@
+(** NuevoMatchUP-style computational cache over rule ranges.
+
+    The destination-prefix intervals of the rule set are partitioned into a
+    few non-overlapping groups (iSets). Each iSet keeps its intervals sorted
+    by start address under a tiny linear model fitted at build time; a
+    lookup predicts the interval's position from the destination address and
+    fixes it up with a bounded local binary search (the model's exact
+    maximum error is computed at build, so the window always contains the
+    answer). Rules that fit no iSet form a remainder set searched linearly,
+    like the firewall's ACL scan. Candidates from all structures are
+    validated against the full rule and combined under the shared
+    (priority, install order) total order, so the result is identical to
+    the oracle's. *)
+
+type t
+
+val name : string
+val create : heap:Ppp_simmem.Heap.t -> Rule.t array -> t
+
+val isets : t -> int
+(** Number of indexed groups. *)
+
+val remainder : t -> int
+(** Rules outside every iSet (linear-scanned on each lookup). *)
+
+val max_err : t -> int
+(** Largest model error bound across iSets: the local-search radius. *)
+
+val lookup :
+  t -> Ppp_hw.Trace.Builder.t -> fn:Ppp_hw.Fn.t -> Ppp_net.Flowid.t -> int
+
+val lookup_quiet : t -> Ppp_net.Flowid.t -> int

@@ -1,0 +1,64 @@
+(* The rule record shared by every slow-path backend and the test oracle.
+
+   Matching semantics are deliberately minimal — prefixes on addresses,
+   inclusive ranges on ports, exact-or-any protocol — because the point of
+   this subsystem is not expressiveness but the fast-path/slow-path split:
+   any semantics rich enough to need priorities and overlap already forces
+   the tuple-space / range-index design space. *)
+
+type t = {
+  prio : int;
+  src : int;
+  src_plen : int;
+  dst : int;
+  dst_plen : int;
+  sport_lo : int;
+  sport_hi : int;
+  dport_lo : int;
+  dport_hi : int;
+  proto : int;
+  action : int;
+}
+
+let no_match = -1
+let u32 = 0xFFFFFFFF
+let mask_of_plen plen = if plen <= 0 then 0 else u32 land (u32 lsl (32 - plen))
+
+let dst_range r =
+  let mask = mask_of_plen r.dst_plen in
+  let lo = r.dst land mask in
+  (lo, lo lor (lnot mask land u32))
+
+let matches r (f : Ppp_net.Flowid.t) =
+  let smask = mask_of_plen r.src_plen in
+  let dmask = mask_of_plen r.dst_plen in
+  f.Ppp_net.Flowid.src land smask = r.src land smask
+  && f.Ppp_net.Flowid.dst land dmask = r.dst land dmask
+  && f.Ppp_net.Flowid.sport >= r.sport_lo
+  && f.Ppp_net.Flowid.sport <= r.sport_hi
+  && f.Ppp_net.Flowid.dport >= r.dport_lo
+  && f.Ppp_net.Flowid.dport <= r.dport_hi
+  && (r.proto = 0 || f.Ppp_net.Flowid.proto = r.proto)
+
+let better ~prio ~seq ~than_prio ~than_seq =
+  prio > than_prio || (prio = than_prio && seq < than_seq)
+
+let validate r =
+  let bad fmt = Printf.ksprintf invalid_arg fmt in
+  if r.src_plen < 0 || r.src_plen > 32 then
+    bad "Rule.validate: src_plen %d out of [0,32]" r.src_plen;
+  if r.dst_plen < 0 || r.dst_plen > 32 then
+    bad "Rule.validate: dst_plen %d out of [0,32]" r.dst_plen;
+  if r.sport_lo < 0 || r.sport_hi > 0xFFFF || r.sport_lo > r.sport_hi then
+    bad "Rule.validate: source port range [%d,%d]" r.sport_lo r.sport_hi;
+  if r.dport_lo < 0 || r.dport_hi > 0xFFFF || r.dport_lo > r.dport_hi then
+    bad "Rule.validate: destination port range [%d,%d]" r.dport_lo r.dport_hi;
+  if r.proto < 0 || r.proto > 255 then
+    bad "Rule.validate: proto %d out of [0,255]" r.proto;
+  if r.action < 0 then bad "Rule.validate: negative action %d" r.action
+
+let pp fmt r =
+  Format.fprintf fmt
+    "prio=%d src=%08x/%d dst=%08x/%d sport=[%d,%d] dport=[%d,%d] proto=%d -> %d"
+    r.prio r.src r.src_plen r.dst r.dst_plen r.sport_lo r.sport_hi r.dport_lo
+    r.dport_hi r.proto r.action

@@ -1,0 +1,51 @@
+(** A classification rule over the 5-tuple: prefix match on the addresses,
+    range match on the ports, exact-or-wildcard match on the protocol, with
+    a priority and an action.
+
+    This is the OpenFlow/OVS rule shape restricted to the fields the rest of
+    the repo already models ({!Ppp_net.Flowid}). Rules are installed once
+    per classifier instance; the slow-path backends differ only in how they
+    search an identical rule set, and the differential oracle suite holds
+    them all to the same answer. *)
+
+type t = {
+  prio : int;  (** higher wins; ties broken by install order (lower first) *)
+  src : int;
+  src_plen : int;  (** source prefix length, 0 (any) .. 32 (exact) *)
+  dst : int;
+  dst_plen : int;
+  sport_lo : int;
+  sport_hi : int;  (** inclusive source-port range *)
+  dport_lo : int;
+  dport_hi : int;
+  proto : int;  (** 0 = any *)
+  action : int;  (** >= 0; what a matching packet gets (an egress port) *)
+}
+
+val no_match : int
+(** The action returned when no rule matches (-1). Installed actions must be
+    nonnegative, so the two never collide. *)
+
+val mask_of_plen : int -> int
+(** 32-bit network mask of a prefix length. *)
+
+val dst_range : t -> int * int
+(** The inclusive [lo, hi] interval of destination addresses the rule's
+    destination prefix covers — the dimension {!Range_index} indexes. *)
+
+val matches : t -> Ppp_net.Flowid.t -> bool
+(** Pure field-by-field match, no instrumentation. Every backend's result
+    is defined in terms of this predicate: the winning rule is the matching
+    rule with the highest [prio], install order breaking ties. *)
+
+val better : prio:int -> seq:int -> than_prio:int -> than_seq:int -> bool
+(** The shared tie-break: does (prio, seq) beat (than_prio, than_seq)?
+    Strictly higher priority wins; equal priority falls back to the lower
+    install sequence number. Every backend must use exactly this order for
+    the differential suite to hold. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on malformed rules (bad prefix length,
+    inverted port range, negative action). *)
+
+val pp : Format.formatter -> t -> unit

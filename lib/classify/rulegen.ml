@@ -1,0 +1,107 @@
+(* Structured rule sets: a deterministic mix of the rule classes real ACL /
+   OpenFlow tables contain. Addresses are drawn from a handful of /8 blocks
+   so prefixes of different lengths genuinely overlap — a uniform 32-bit
+   draw would make every rule disjoint and both backends trivially fast. *)
+
+let blocks = [| 0x0A000000; 0x0AC80000; 0xC0A80000; 0xAC100000; 0x08080000 |]
+
+let addr rng =
+  let base = blocks.(Ppp_util.Rng.int rng (Array.length blocks)) in
+  base lor Ppp_util.Rng.int rng 0x10000
+
+let well_known_ports = [| 22; 53; 80; 123; 443; 8080 |]
+
+let port rng =
+  if Ppp_util.Rng.bool rng then
+    well_known_ports.(Ppp_util.Rng.int rng (Array.length well_known_ports))
+  else Ppp_util.Rng.int_in rng 1024 0xFFFF
+
+let port_range rng =
+  if Ppp_util.Rng.int rng 3 = 0 then (0, 0xFFFF)
+  else if Ppp_util.Rng.bool rng then
+    let p = port rng in
+    (p, p)
+  else
+    let lo = Ppp_util.Rng.int_in rng 0 0xFF00 in
+    (lo, lo + Ppp_util.Rng.int_in rng 0 0xFF)
+
+let proto rng =
+  match Ppp_util.Rng.int rng 4 with
+  | 0 -> 0 (* any *)
+  | 1 -> Ppp_net.Ipv4.proto_tcp
+  | _ -> Ppp_net.Ipv4.proto_udp
+
+(* The class mix: exact ACL entries, prefix aggregates, service (port-range)
+   rules, broad policies. Weights are arbitrary but fixed — they are part of
+   the experiment's definition, like the Zipf skew. *)
+let rule rng =
+  let sport_lo, sport_hi = port_range rng in
+  let dport_lo, dport_hi = port_range rng in
+  let cls = Ppp_util.Rng.int rng 10 in
+  let plen rng =
+    match Ppp_util.Rng.int rng 3 with 0 -> 8 | 1 -> 16 | _ -> 24
+  in
+  let src_plen, dst_plen, sport_lo, sport_hi, dport_lo, dport_hi =
+    if cls < 3 then (32, 32, sport_lo, sport_hi, dport_lo, dport_hi)
+      (* exact-address ACL *)
+    else if cls < 7 then (plen rng, plen rng, 0, 0xFFFF, dport_lo, dport_hi)
+      (* prefix aggregate, destination service *)
+    else if cls < 9 then (0, plen rng, sport_lo, sport_hi, dport_lo, dport_hi)
+      (* any-source policy *)
+    else (0, 0, 0, 0xFFFF, dport_lo, dport_hi)
+    (* broad port-only rule *)
+  in
+  {
+    Rule.prio = Ppp_util.Rng.int_in rng 1 8;
+    src = addr rng;
+    src_plen;
+    dst = addr rng;
+    dst_plen;
+    sport_lo;
+    sport_hi;
+    dport_lo;
+    dport_hi;
+    proto = proto rng;
+    action = Ppp_util.Rng.int_in rng 1 254;
+  }
+
+let catch_all rng =
+  {
+    Rule.prio = 0;
+    src = 0;
+    src_plen = 0;
+    dst = 0;
+    dst_plen = 0;
+    sport_lo = 0;
+    sport_hi = 0xFFFF;
+    dport_lo = 0;
+    dport_hi = 0xFFFF;
+    proto = 0;
+    action = Ppp_util.Rng.int_in rng 1 254;
+  }
+
+let make ~rng ~n =
+  if n <= 0 then invalid_arg "Rulegen.make: n must be positive";
+  let rules =
+    Array.init n (fun i -> if i = n - 1 then catch_all rng else rule rng)
+  in
+  Array.iter Rule.validate rules;
+  rules
+
+let addr_in rng base plen =
+  let mask = Rule.mask_of_plen plen in
+  let lo = base land mask in
+  lo lor (Ppp_util.Rng.int_in rng 0 (lnot mask land 0xFFFFFFFF))
+
+let flowid_matching ~rng (r : Rule.t) =
+  {
+    Ppp_net.Flowid.src = addr_in rng r.Rule.src r.Rule.src_plen;
+    dst = addr_in rng r.Rule.dst r.Rule.dst_plen;
+    sport = Ppp_util.Rng.int_in rng r.Rule.sport_lo r.Rule.sport_hi;
+    dport = Ppp_util.Rng.int_in rng r.Rule.dport_lo r.Rule.dport_hi;
+    proto =
+      (if r.Rule.proto = 0 then
+         if Ppp_util.Rng.bool rng then Ppp_net.Ipv4.proto_udp
+         else Ppp_net.Ipv4.proto_tcp
+       else r.Rule.proto);
+  }

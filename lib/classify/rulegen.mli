@@ -1,0 +1,16 @@
+(** Deterministic structured rule-set generator for experiments.
+
+    Real classifier rule sets are not uniform random hypercubes: they mix
+    exact-match ACL entries, prefix aggregates at the classic /8 / /16 / /24
+    break points, port-range service rules, and a handful of broad
+    policies. The generator reproduces that mix from a seeded {!Ppp_util.Rng}
+    so every backend sees the identical rule set for a given cell. *)
+
+val make : rng:Ppp_util.Rng.t -> n:int -> Rule.t array
+(** [make ~rng ~n] builds [n] valid rules (validated with {!Rule.validate}).
+    The last rule is always a lowest-priority catch-all so generated traffic
+    never falls through to {!Rule.no_match}. Install order is array order. *)
+
+val flowid_matching : rng:Ppp_util.Rng.t -> Rule.t -> Ppp_net.Flowid.t
+(** Sample a concrete flow id inside the rule's hypercube — used to build
+    traffic universes where every flow has a known matching rule. *)

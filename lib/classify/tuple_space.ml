@@ -1,0 +1,141 @@
+open Ppp_simmem
+
+(* One hash-table entry: the masked key this rule was installed under, the
+   rule's install sequence number (= index into [rules]), and the chain
+   link. Entries are immutable after build. *)
+type entry = { e_src : int; e_dst : int; e_seq : int; e_next : int }
+
+type tuple = {
+  smask : int;
+  dmask : int;
+  max_prio : int;  (* best priority present: the skip bound *)
+  hmask : int;
+  heads : int Iarray.t;  (* -1 = empty bucket *)
+  entries : entry Iarray.t;
+}
+
+type t = {
+  rules : Rule.t Iarray.t;  (* residual fields, read on candidate check *)
+  tuples : tuple array;
+  dir : int Iarray.t;  (* one descriptor line per tuple, charged on visit *)
+  scratch : Ppp_hw.Trace.Builder.t;  (* sink for lookup_quiet *)
+}
+
+let name = "tss"
+let rec pow2 n v = if v >= n then v else pow2 n (v * 2)
+
+let hash_key msrc mdst mask =
+  Ppp_util.Hashes.combine
+    (Ppp_util.Hashes.fnv1a_int msrc)
+    (Ppp_util.Hashes.fnv1a_int mdst)
+  land mask
+
+let build_tuple ~heap ~(rules : Rule.t array) ~src_plen ~dst_plen seqs =
+  let smask = Rule.mask_of_plen src_plen in
+  let dmask = Rule.mask_of_plen dst_plen in
+  let n = List.length seqs in
+  let cap = pow2 (2 * n) 4 in
+  let hmask = cap - 1 in
+  let heads = Iarray.create heap ~elem_bytes:8 cap (-1) in
+  let entries =
+    Iarray.create heap ~elem_bytes:32 n
+      { e_src = 0; e_dst = 0; e_seq = 0; e_next = -1 }
+  in
+  let max_prio = ref min_int in
+  List.iteri
+    (fun i seq ->
+      let r = rules.(seq) in
+      if r.Rule.prio > !max_prio then max_prio := r.Rule.prio;
+      let msrc = r.Rule.src land smask and mdst = r.Rule.dst land dmask in
+      let h = hash_key msrc mdst hmask in
+      Iarray.poke entries i
+        { e_src = msrc; e_dst = mdst; e_seq = seq; e_next = Iarray.peek heads h };
+      Iarray.poke heads h i)
+    seqs;
+  { smask; dmask; max_prio = !max_prio; hmask; heads; entries }
+
+let create ~heap (rules : Rule.t array) =
+  Array.iter Rule.validate rules;
+  (* Group install sequence numbers by mask pair, preserving first-seen
+     tuple order (deterministic across runs: array order is install order). *)
+  let groups = ref [] in
+  Array.iteri
+    (fun seq (r : Rule.t) ->
+      let key = (r.Rule.src_plen, r.Rule.dst_plen) in
+      match List.assoc_opt key !groups with
+      | Some cell -> cell := seq :: !cell
+      | None -> groups := !groups @ [ (key, ref [ seq ]) ])
+    rules;
+  let tuples =
+    Array.of_list
+      (List.map
+         (fun ((src_plen, dst_plen), cell) ->
+           build_tuple ~heap ~rules ~src_plen ~dst_plen (List.rev !cell))
+         !groups)
+  in
+  let rules_arr =
+    Iarray.init heap ~elem_bytes:40 (max 1 (Array.length rules)) (fun i ->
+        if i < Array.length rules then rules.(i)
+        else
+          { Rule.prio = 0; src = 0; src_plen = 0; dst = 0; dst_plen = 0;
+            sport_lo = 0; sport_hi = 0; dport_lo = 0; dport_hi = 0; proto = 255;
+            action = 0 })
+  in
+  {
+    rules = rules_arr;
+    tuples;
+    dir = Iarray.create heap ~elem_bytes:16 (max 1 (Array.length tuples)) 0;
+    scratch = Ppp_hw.Trace.Builder.create ();
+  }
+
+let tuples t = Array.length t.tuples
+
+(* Residual check beyond the masked-address key: ports and protocol. The
+   prefix fields are already proven equal by the key comparison. *)
+let residual_matches (r : Rule.t) (f : Ppp_net.Flowid.t) =
+  f.Ppp_net.Flowid.sport >= r.Rule.sport_lo
+  && f.Ppp_net.Flowid.sport <= r.Rule.sport_hi
+  && f.Ppp_net.Flowid.dport >= r.Rule.dport_lo
+  && f.Ppp_net.Flowid.dport <= r.Rule.dport_hi
+  && (r.Rule.proto = 0 || f.Ppp_net.Flowid.proto = r.Rule.proto)
+
+let lookup t b ~fn (f : Ppp_net.Flowid.t) =
+  let best_prio = ref min_int in
+  let best_seq = ref max_int in
+  let best_act = ref Rule.no_match in
+  for ti = 0 to Array.length t.tuples - 1 do
+    let tp = t.tuples.(ti) in
+    ignore (Iarray.get t.dir b ~fn ti : int);
+    Ppp_hw.Trace.Builder.compute b ~fn 4;
+    (* A tuple whose best priority is strictly below the winner cannot
+       improve it; equal priority still can (lower install order). *)
+    if tp.max_prio >= !best_prio then begin
+      let msrc = f.Ppp_net.Flowid.src land tp.smask in
+      let mdst = f.Ppp_net.Flowid.dst land tp.dmask in
+      let idx = ref (Iarray.get tp.heads b ~fn (hash_key msrc mdst tp.hmask)) in
+      Ppp_hw.Trace.Builder.compute b ~fn 8;
+      while !idx >= 0 do
+        let e = Iarray.get tp.entries b ~fn !idx in
+        Ppp_hw.Trace.Builder.compute b ~fn 4;
+        if e.e_src = msrc && e.e_dst = mdst then begin
+          let r = Iarray.get t.rules b ~fn e.e_seq in
+          Ppp_hw.Trace.Builder.compute b ~fn 6;
+          if
+            residual_matches r f
+            && Rule.better ~prio:r.Rule.prio ~seq:e.e_seq ~than_prio:!best_prio
+                 ~than_seq:!best_seq
+          then begin
+            best_prio := r.Rule.prio;
+            best_seq := e.e_seq;
+            best_act := r.Rule.action
+          end
+        end;
+        idx := e.e_next
+      done
+    end
+  done;
+  !best_act
+
+let lookup_quiet t f =
+  Ppp_hw.Trace.Builder.clear t.scratch;
+  lookup t t.scratch ~fn:Ppp_hw.Fn.none f

@@ -1,0 +1,31 @@
+(** OVS-style tuple-space search.
+
+    Rules are grouped by their (src_plen, dst_plen) mask pair; each group
+    ("tuple") is an exact-match hash table keyed on the masked addresses.
+    A lookup masks the flow id once per tuple, probes that tuple's hash
+    table, finishes the residual port/protocol checks on candidate rules,
+    and keeps the best (priority, install order) winner. Tuples whose best
+    priority cannot beat the current winner are skipped — the classic TSS
+    priority sort optimisation.
+
+    All tables live in instrumented {!Ppp_simmem.Iarray} storage, so a
+    lookup emits the same kind of simulated address stream the firewall and
+    IP-lookup elements do. *)
+
+type t
+
+val name : string
+
+val create : heap:Ppp_simmem.Heap.t -> Rule.t array -> t
+(** Build the tuple space over the rule set; array order is install order. *)
+
+val tuples : t -> int
+(** Number of distinct mask pairs (hash tables searched in the worst case). *)
+
+val lookup :
+  t -> Ppp_hw.Trace.Builder.t -> fn:Ppp_hw.Fn.t -> Ppp_net.Flowid.t -> int
+(** Instrumented search: the action of the best matching rule, or
+    {!Rule.no_match}. *)
+
+val lookup_quiet : t -> Ppp_net.Flowid.t -> int
+(** Same result, no trace side effects on the caller (tests, upkeep). *)

@@ -27,6 +27,20 @@ type hit_path = {
           constant slack of the measurement itself *)
 }
 
+type flow_table = {
+  lookups : int;
+  entries : int;  (** table capacity the loop probed *)
+  hit_fraction : float;  (** of the lookup stream; pinned by construction *)
+  ft_wall_s : float;
+  lookups_per_sec : float;
+  bytes_per_lookup : float;
+  ft_zero_alloc : bool;
+}
+(** The classifier fast path's inner loop: instrumented {!Ppp_classify.Flow_table.find}
+    over a pre-built packet pool, three-quarters of it installed. Like the
+    cache-hit audit, the loop must not touch the minor heap — the classifier
+    experiment runs it once per simulated packet. *)
+
 type report = {
   config : string;
   seed : int;
@@ -36,6 +50,7 @@ type report = {
   batch : int;  (** engine burst budget the workloads ran with *)
   workloads : measurement list;
   hit : hit_path;
+  flow_table : flow_table;
 }
 
 type trajectory_point = {

@@ -17,6 +17,7 @@ type params = {
   measure_cycles : int;
   batch : int;
   cell : string;
+  classifier : string;
 }
 
 let default_params =
@@ -27,6 +28,7 @@ let default_params =
     measure_cycles = 10_000_000;
     batch = 32;
     cell = "";
+    classifier = "all";
   }
 
 let quick_params =
@@ -37,6 +39,7 @@ let quick_params =
     measure_cycles = 1_000_000;
     batch = 32;
     cell = "";
+    classifier = "all";
   }
 
 let run ?(params = default_params) ?probe ?wrap specs =

@@ -31,6 +31,10 @@ type params = {
       (** Telemetry label of the experiment cell this run belongs to
           (e.g. "pair/IP/MON"); "" for unlabeled ad-hoc runs. Only consumed
           by the telemetry layer — it never influences the simulation. *)
+  classifier : string;
+      (** Slow-path backend selection for the [classifier] experiment:
+          "tss", "range", or "all" (both). Only that experiment reads it;
+          every other experiment ignores the field entirely. *)
 }
 
 val default_params : params

@@ -74,6 +74,12 @@ let all =
       run = Flowcache_exp.run;
     };
     {
+      id = "classifier";
+      title = "Flow-table fast path over dual slow-path backends";
+      paper_ref = "extension";
+      run = Classifier_exp.run;
+    };
+    {
       id = "latency";
       title = "Per-packet latency tails under contention";
       paper_ref = "extension";

@@ -26,8 +26,11 @@ let write_metrics_dir ~dir ~run =
   write_string (Filename.concat dir "spans.csv") (Csv.spans_csv spans);
   Json.write_file
     (Filename.concat dir "manifest.json")
-    (Manifest.json ~events ~run ~experiments:(Recorder.experiments ()) ~series
-       ~spans ())
+    (Manifest.json ~events
+       ~classifier:(Recorder.classifier ())
+       ~run
+       ~experiments:(Recorder.experiments ())
+       ~series ~spans ())
 
 let write_monitor_dir ~dir ~alerts ~timeline_csv =
   mkdir_p dir;

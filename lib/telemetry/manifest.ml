@@ -9,8 +9,8 @@ type run = {
   sample_cycles : int option;
 }
 
-let schema = "ppp-telemetry/2"
-let schema_version = 2
+let schema = "ppp-telemetry/3"
+let schema_version = 3
 
 (* The alerts section summarizes monitor events. It is always present —
    an empty section (0 events) is the valid shape for non-monitor runs —
@@ -32,7 +32,39 @@ let alerts_json events =
       ("by_name", Json.Obj by_name);
     ]
 
-let json ?(events = []) ~run ~experiments ~series ~spans () =
+(* Schema 3: the classifier section summarizes the fast-path/slow-path
+   counters recorded per experiment cell. Like alerts, it is always present;
+   an empty section (0 cells) is the valid shape for runs that never
+   exercise the classifier. *)
+let classifier_json (entries : Recorder.classifier_entry list) =
+  let sum f = List.fold_left (fun acc e -> acc + f e) 0 entries in
+  Json.Obj
+    [
+      ("cells", Json.Int (List.length entries));
+      ("lookups", Json.Int (sum (fun e -> e.Recorder.cls_lookups)));
+      ("hits", Json.Int (sum (fun e -> e.Recorder.cls_hits)));
+      ("upcalls", Json.Int (sum (fun e -> e.Recorder.cls_upcalls)));
+      ("installs", Json.Int (sum (fun e -> e.Recorder.cls_installs)));
+      ("evictions", Json.Int (sum (fun e -> e.Recorder.cls_evictions)));
+      ( "by_cell",
+        Json.Arr
+          (List.map
+             (fun (e : Recorder.classifier_entry) ->
+               Json.Obj
+                 [
+                   ("cell", Json.Str e.Recorder.cls_cell);
+                   ("backend", Json.Str e.Recorder.cls_backend);
+                   ("rules", Json.Int e.Recorder.cls_rules);
+                   ("lookups", Json.Int e.Recorder.cls_lookups);
+                   ("hits", Json.Int e.Recorder.cls_hits);
+                   ("upcalls", Json.Int e.Recorder.cls_upcalls);
+                   ("installs", Json.Int e.Recorder.cls_installs);
+                   ("evictions", Json.Int e.Recorder.cls_evictions);
+                 ])
+             entries) );
+    ]
+
+let json ?(events = []) ?(classifier = []) ~run ~experiments ~series ~spans () =
   let n_slices =
     List.fold_left
       (fun acc (s : Timeseries.t) -> acc + List.length s.Timeseries.slices)
@@ -90,6 +122,7 @@ let json ?(events = []) ~run ~experiments ~series ~spans () =
             ("slices", Json.Int n_slices);
           ] );
       ("alerts", alerts_json events);
+      ("classifier", classifier_json classifier);
       ( "wall_clock",
         Json.Obj
           [

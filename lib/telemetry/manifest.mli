@@ -19,13 +19,16 @@ type run = {
 
 val json :
   ?events:Event.t list ->
+  ?classifier:Recorder.classifier_entry list ->
   run:run ->
   experiments:Recorder.experiment_entry list ->
   series:Timeseries.t list ->
   spans:Span.t list ->
   unit ->
   Json.t
-(** Schema "ppp-telemetry/2": adds a [schema_version] field and an [alerts]
-    section summarizing monitor events (count + per-name breakdown). The
-    section is always emitted; with no events it is the empty-but-valid
-    shape ({["events": 0]}), so non-monitor runs stay schema-conforming. *)
+(** Schema "ppp-telemetry/3": a [schema_version] field, an [alerts] section
+    summarizing monitor events (count + per-name breakdown), and a
+    [classifier] section summarizing fast-path/slow-path counters (totals +
+    per-cell breakdown). Both sections are always emitted; with no data
+    they are the empty-but-valid shapes ({["events": 0]}, {["cells": 0]}),
+    so runs that exercise neither subsystem stay schema-conforming. *)

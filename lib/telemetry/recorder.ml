@@ -5,6 +5,17 @@ type experiment_entry = {
   wall_s : float;
 }
 
+type classifier_entry = {
+  cls_cell : string;
+  cls_backend : string;
+  cls_rules : int;
+  cls_lookups : int;
+  cls_hits : int;
+  cls_upcalls : int;
+  cls_installs : int;
+  cls_evictions : int;
+}
+
 (* Sampling config and the current experiment id are read from worker
    domains on the hot-ish path, so they live in atomics; the accumulators
    are mutated under one mutex. *)
@@ -16,6 +27,7 @@ let acc_series : Timeseries.t list ref = ref []
 let acc_spans : Span.t list ref = ref []
 let acc_events : Event.t list ref = ref []
 let acc_experiments : experiment_entry list ref = ref []
+let acc_classifier : classifier_entry list ref = ref []
 
 let locked f =
   Mutex.lock lock;
@@ -34,7 +46,8 @@ let clear_data () =
       acc_series := [];
       acc_spans := [];
       acc_events := [];
-      acc_experiments := [])
+      acc_experiments := [];
+      acc_classifier := [])
 
 let reset () =
   Atomic.set sampling_setting 0;
@@ -86,3 +99,13 @@ let spans () =
 
 let events () = locked (fun () -> List.sort Event.compare !acc_events)
 let experiments () = locked (fun () -> List.rev !acc_experiments)
+
+let add_classifier e =
+  locked (fun () -> acc_classifier := e :: !acc_classifier)
+
+let classifier () =
+  locked (fun () ->
+      List.sort
+        (fun a b ->
+          compare (a.cls_cell, a.cls_backend) (b.cls_cell, b.cls_backend))
+        !acc_classifier)

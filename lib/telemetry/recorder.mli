@@ -17,6 +17,17 @@ type experiment_entry = {
   wall_s : float;  (** wall-clock duration — nondeterministic *)
 }
 
+type classifier_entry = {
+  cls_cell : string;  (** experiment cell label, e.g. "classifier/tss/64/0.0" *)
+  cls_backend : string;
+  cls_rules : int;
+  cls_lookups : int;  (** fast-path probes = hits + upcalls *)
+  cls_hits : int;
+  cls_upcalls : int;
+  cls_installs : int;
+  cls_evictions : int;
+}
+
 val configure : ?sample_cycles:int -> ?spans:bool -> unit -> unit
 (** Turns collection on. [sample_cycles] enables counter sampling at that
     slice length (in simulated cycles); [spans] enables wall-clock span
@@ -70,3 +81,11 @@ val events : unit -> Event.t list
 val experiments : unit -> experiment_entry list
 (** In completion order (experiments run sequentially from the main
     domain, so this order is the CLI invocation order). *)
+
+val add_classifier : classifier_entry -> unit
+(** Thread-safe; always recorded (like {!record_experiment}) — a handful of
+    ints per cell, and the CLIs decide later whether a manifest is
+    written. *)
+
+val classifier : unit -> classifier_entry list
+(** Sorted by (cell, backend) — deterministic regardless of job count. *)

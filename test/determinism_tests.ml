@@ -15,6 +15,7 @@ let params ?(batch = 32) ~seed () =
     measure_cycles = 300_000;
     batch;
     cell = "";
+    classifier = "all";
   }
 
 let with_jobs n f =
@@ -52,6 +53,16 @@ let test_jobs_batch_golden_equality () =
   Alcotest.(check string)
     "fig2: --jobs 4 --batch 32 byte-identical to --jobs 1 --batch 1" baseline
     tuned
+
+(* Same contract for the classifier experiment: its cells carry mutable
+   per-flow state (flow table, upcall counters, slow-path scratch), all of
+   which must be private to the cell for the knobs to stay pure. *)
+let test_classifier_jobs_batch_golden_equality () =
+  let baseline = render "classifier" ~seed:42 ~jobs:1 ~batch:1 in
+  let tuned = render "classifier" ~seed:42 ~jobs:4 ~batch:32 in
+  Alcotest.(check string)
+    "classifier: --jobs 4 --batch 32 byte-identical to --jobs 1 --batch 1"
+    baseline tuned
 
 let test_rng_derivation () =
   (* The seed-derivation function itself: pure, label- and seed-sensitive. *)
@@ -109,6 +120,10 @@ let tests =
       (check_experiment "fig2");
     Alcotest.test_case "fig10 deterministic across jobs" `Slow
       (check_experiment "fig10");
+    Alcotest.test_case "classifier deterministic across jobs" `Slow
+      (check_experiment "classifier");
     Alcotest.test_case "fig2 golden equality across jobs x batch" `Slow
       test_jobs_batch_golden_equality;
+    Alcotest.test_case "classifier golden equality across jobs x batch" `Slow
+      test_classifier_jobs_batch_golden_equality;
   ]

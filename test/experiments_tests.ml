@@ -13,6 +13,7 @@ let fast =
     measure_cycles = 1_200_000;
     batch = 32;
     cell = "";
+    classifier = "all";
   }
 
 let fast_levels =
@@ -23,7 +24,7 @@ let test_registry_complete () =
   List.iter
     (fun id -> Alcotest.(check bool) (id ^ " present") true (List.mem id ids))
     [ "table1"; "fig2"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
-      "fig10"; "pipeline"; "throttle" ];
+      "fig10"; "pipeline"; "throttle"; "flowcache"; "classifier" ];
   Alcotest.(check bool) "find works" true (Registry.find "fig2" <> None);
   Alcotest.(check bool) "unknown" true (Registry.find "bogus" = None)
 
@@ -119,6 +120,56 @@ let test_throttle_contains () =
     (data.Throttle_exp.attacker_throttled_refs
     <= data.Throttle_exp.attacker_refs_budget *. 1.05)
 
+let test_classifier_structure () =
+  (* "all" sweeps 2 backends x 2 rule sizes x 2 skews = 8 cells, and within
+     each (backend, rules) pair the Zipf-skewed traffic must cache at least
+     as well as the uniform traffic. *)
+  let data = Classifier_exp.measure ~params:fast () in
+  let cells = data.Classifier_exp.cells in
+  Alcotest.(check int) "eight cells" 8 (List.length cells);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (b ^ " backend present") true
+        (List.exists (fun c -> c.Classifier_exp.backend = b) cells))
+    [ "tss"; "range" ];
+  List.iter
+    (fun (c : Classifier_exp.cell) ->
+      Alcotest.(check bool) "hit rate in [0,1]" true
+        (c.Classifier_exp.hit_rate >= 0.0 && c.Classifier_exp.hit_rate <= 1.0);
+      Alcotest.(check bool) "upcall rate nonnegative" true
+        (c.Classifier_exp.upcalls_per_packet >= 0.0);
+      Alcotest.(check bool) "positive solo throughput" true
+        (c.Classifier_exp.solo_pps > 0.0))
+    cells;
+  List.iter
+    (fun (c : Classifier_exp.cell) ->
+      if c.Classifier_exp.skew > 1.0 then
+        let uniform =
+          List.find
+            (fun (u : Classifier_exp.cell) ->
+              u.Classifier_exp.backend = c.Classifier_exp.backend
+              && u.Classifier_exp.rules = c.Classifier_exp.rules
+              && u.Classifier_exp.skew = 0.0)
+            cells
+        in
+        Alcotest.(check bool) "skewed traffic hits at least as often" true
+          (c.Classifier_exp.hit_rate >= uniform.Classifier_exp.hit_rate))
+    cells;
+  (* Backend selection: single-backend params halve the sweep; unknown
+     backend names are rejected up front. *)
+  let tss_only = { fast with Runner.classifier = "tss" } in
+  Alcotest.(check int) "tss-only selects one backend" 1
+    (List.length (Classifier_exp.backends ~params:tss_only));
+  Alcotest.check_raises "unknown backend rejected"
+    (Invalid_argument
+       "classifier experiment: unknown backend \"bogus\" (tss|range|all)")
+    (fun () ->
+      ignore
+        (Classifier_exp.backends
+           ~params:{ fast with Runner.classifier = "bogus" }
+          : Ppp_classify.Classifier.kind list))
+
 let test_fig4_monotone_cache_curves () =
   let data =
     Fig4_exp.measure ~params:fast ~levels:fast_levels
@@ -176,4 +227,5 @@ let tests =
     Alcotest.test_case "fig10 combos" `Slow test_fig10_combos;
     Alcotest.test_case "pipeline shapes" `Slow test_pipeline_shapes;
     Alcotest.test_case "throttle contains" `Slow test_throttle_contains;
+    Alcotest.test_case "classifier structure" `Slow test_classifier_structure;
   ]

@@ -1,0 +1,125 @@
+(* Direct unit tests for the exact-match flow cache — the special case the
+   lib/classify fast path generalizes. Pinned behaviours: capacity
+   rounding, hit/miss counting, the don't-cache-unrouted rule, and the
+   direct-mapped conflict (eviction) story. *)
+
+let heap () = Ppp_simmem.Heap.create ~node:0
+
+let ctx () = Ppp_click.Ctx.create ~rng:(Ppp_util.Rng.create ~seed:3)
+
+let packet ~dst ~sport =
+  let pkt = Ppp_net.Packet.create 60 in
+  Ppp_traffic.Gen.fill_ipv4_udp pkt ~src:0x0A000001 ~dst ~sport ~dport:443
+    ~wire_len:64;
+  pkt
+
+(* The cache's slot index, recomputed from the public hash (the packing is
+   bits 16-57 of the flow hash, direct-mapped). *)
+let slot_index ~capacity pkt =
+  let key =
+    (Ppp_net.Flowid.hash_of_packet pkt lsr 16) land 0x3FFFFFFFFFF
+  in
+  let key = if key = 0 then 1 else key in
+  key land (capacity - 1)
+
+let routed_trie heap =
+  let trie = Ppp_apps.Radix_trie.create ~heap ~default_hop:0 () in
+  Ppp_apps.Radix_trie.add_route trie ~prefix:0x0B000000 ~plen:8 ~hop:5;
+  trie
+
+let test_capacity_rounding () =
+  let h = heap () in
+  Alcotest.(check int) "100 -> 128" 128
+    (Ppp_apps.Flow_cache.capacity (Ppp_apps.Flow_cache.create ~heap:h ~entries:100));
+  Alcotest.(check int) "min 16" 16
+    (Ppp_apps.Flow_cache.capacity (Ppp_apps.Flow_cache.create ~heap:h ~entries:1));
+  Alcotest.check_raises "entries=0 rejected"
+    (Invalid_argument "Flow_cache.create") (fun () ->
+      ignore (Ppp_apps.Flow_cache.create ~heap:h ~entries:0 : Ppp_apps.Flow_cache.t))
+
+let test_miss_then_hit () =
+  let h = heap () in
+  let fc = Ppp_apps.Flow_cache.create ~heap:h ~entries:16 in
+  let el = Ppp_apps.Flow_cache.lookup_element fc ~trie:(routed_trie h) () in
+  let ctx = ctx () in
+  let pkt = packet ~dst:0x0B000001 ~sport:1000 in
+  (match el.Ppp_click.Element.process ctx pkt with
+  | Ppp_click.Element.Forward -> ()
+  | Ppp_click.Element.Drop -> Alcotest.fail "routed packet dropped");
+  Alcotest.(check int) "hop annotated" 5 (Ppp_net.Packet.get8 pkt 0);
+  Alcotest.(check (pair int int)) "first probe misses" (0, 1)
+    (Ppp_apps.Flow_cache.hits fc, Ppp_apps.Flow_cache.misses fc);
+  ignore (el.Ppp_click.Element.process ctx pkt : Ppp_click.Element.verdict);
+  Alcotest.(check (pair int int)) "second probe hits" (1, 1)
+    (Ppp_apps.Flow_cache.hits fc, Ppp_apps.Flow_cache.misses fc)
+
+let test_unrouted_not_cached () =
+  let h = heap () in
+  let fc = Ppp_apps.Flow_cache.create ~heap:h ~entries:16 in
+  let el = Ppp_apps.Flow_cache.lookup_element fc ~trie:(routed_trie h) () in
+  let ctx = ctx () in
+  let pkt = packet ~dst:0xC0000001 ~sport:1000 in
+  (match el.Ppp_click.Element.process ctx pkt with
+  | Ppp_click.Element.Drop -> ()
+  | Ppp_click.Element.Forward -> Alcotest.fail "unrouted packet forwarded");
+  ignore (el.Ppp_click.Element.process ctx pkt : Ppp_click.Element.verdict);
+  Alcotest.(check (pair int int)) "unrouted never fills the cache" (0, 2)
+    (Ppp_apps.Flow_cache.hits fc, Ppp_apps.Flow_cache.misses fc)
+
+let test_conflict_thrash () =
+  (* Two routed flows that collide in the direct-mapped slot evict each
+     other on every alternation: the eviction-under-conflict story. A
+     third, non-colliding flow is unaffected. *)
+  let h = heap () in
+  let fc = Ppp_apps.Flow_cache.create ~heap:h ~entries:16 in
+  let capacity = Ppp_apps.Flow_cache.capacity fc in
+  let el = Ppp_apps.Flow_cache.lookup_element fc ~trie:(routed_trie h) () in
+  let ctx = ctx () in
+  let a = packet ~dst:0x0B000001 ~sport:1000 in
+  let idx = slot_index ~capacity a in
+  let b =
+    (* Find a colliding 5-tuple by scanning source ports. *)
+    let rec go sport =
+      if sport > 0xFFFF then Alcotest.fail "no colliding flow found"
+      else
+        let p = packet ~dst:0x0B000002 ~sport in
+        if slot_index ~capacity p = idx then p else go (sport + 1)
+    in
+    go 1001
+  in
+  let c =
+    let rec go sport =
+      if sport > 0xFFFF then Alcotest.fail "no conflict-free flow found"
+      else
+        let p = packet ~dst:0x0B000003 ~sport in
+        if slot_index ~capacity p <> idx then p else go (sport + 1)
+    in
+    go 2000
+  in
+  let process p =
+    ignore (el.Ppp_click.Element.process ctx p : Ppp_click.Element.verdict)
+  in
+  process a;
+  (* miss: fills the slot *)
+  process a;
+  (* hit *)
+  process b;
+  (* miss: evicts a *)
+  process a;
+  (* miss again: the conflict evicted it; evicts b back *)
+  process c;
+  (* miss: its own slot *)
+  process c;
+  (* hit: unaffected by the a/b thrash *)
+  Alcotest.(check (pair int int)) "colliding flows thrash, disjoint one hits"
+    (2, 4)
+    (Ppp_apps.Flow_cache.hits fc, Ppp_apps.Flow_cache.misses fc)
+
+let tests =
+  [
+    Alcotest.test_case "capacity rounding" `Quick test_capacity_rounding;
+    Alcotest.test_case "miss then hit" `Quick test_miss_then_hit;
+    Alcotest.test_case "unrouted not cached" `Quick test_unrouted_not_cached;
+    Alcotest.test_case "direct-mapped conflict thrash" `Quick
+      test_conflict_thrash;
+  ]

@@ -11,6 +11,7 @@ let golden_params =
     measure_cycles = 1_000_000;
     batch = 32;
     cell = "";
+    classifier = "all";
   }
 
 (* Slice length for the telemetry snapshots: 4 slices over the 1 M-cycle
@@ -62,6 +63,28 @@ let () =
            d.Ppp_experiments.Monitor_exp.loud.Ppp_experiments.Monitor_exp
              .alerts);
       print_newline ()
+  | [| _; "json"; id |] -> (
+      (* The `repro run <id> --json` envelope, byte-for-byte: the structured
+         result wrapped in {id, title, paper_ref, data}. *)
+      match Ppp_experiments.Registry.find id with
+      | Some e ->
+          let out = e.Ppp_experiments.Registry.run ~params:golden_params () in
+          print_string
+            (Ppp_telemetry.Json.to_string
+               (Ppp_telemetry.Json.Obj
+                  [
+                    ("id", Ppp_telemetry.Json.Str e.Ppp_experiments.Registry.id);
+                    ( "title",
+                      Ppp_telemetry.Json.Str e.Ppp_experiments.Registry.title );
+                    ( "paper_ref",
+                      Ppp_telemetry.Json.Str
+                        e.Ppp_experiments.Registry.paper_ref );
+                    ("data", out.Ppp_experiments.Output.data);
+                  ]));
+          print_newline ()
+      | None ->
+          Printf.eprintf "golden_gen: unknown experiment %S\n" id;
+          exit 1)
   | [| _; id |] -> (
       match Ppp_experiments.Registry.find id with
       | Some e ->
@@ -72,5 +95,6 @@ let () =
           Printf.eprintf "golden_gen: unknown experiment %S\n" id;
           exit 1)
   | _ ->
-      Printf.eprintf "usage: golden_gen [trace|metrics|alerts] <experiment-id>\n";
+      Printf.eprintf
+        "usage: golden_gen [trace|metrics|alerts|json] <experiment-id>\n";
       exit 1

@@ -15,6 +15,7 @@ let quick =
     measure_cycles = 300_000;
     batch = 32;
     cell = "";
+    classifier = "all";
   }
 
 (* --- synthetic sample streams (no engine) --- *)

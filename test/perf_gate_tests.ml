@@ -13,6 +13,17 @@ let top_keys json =
   | _ -> Alcotest.fail "perf-gate report is not a JSON object"
 
 let test_required_keys () =
+  (* Pin the contract itself: CI and external consumers parse these keys
+     out of BENCH_engine.json, so losing one from required_keys is a
+     breaking change even if to_json still emits it. *)
+  Alcotest.(check (list string))
+    "required keys pinned"
+    [
+      "schema"; "tool"; "config"; "seed"; "quick"; "warmup_cycles";
+      "measure_cycles"; "batch"; "workloads"; "hit_path"; "flow_table";
+      "trajectory";
+    ]
+    G.required_keys;
   let keys = top_keys (G.to_json (Lazy.force report)) in
   List.iter
     (fun k ->
@@ -36,6 +47,17 @@ let test_workloads () =
         (m.G.window_packets > 0))
     r.G.workloads
 
+let test_flow_table_loop () =
+  let ft = (Lazy.force report).G.flow_table in
+  Alcotest.(check bool) "lookups counted" true (ft.G.lookups > 0);
+  Alcotest.(check bool) "positive rate" true (ft.G.lookups_per_sec > 0.0);
+  (* 3/4 of the pool is installed and the table never evicts at this load,
+     so the stream's hit fraction is exact. *)
+  Alcotest.(check (float 1e-9)) "hit fraction pinned by construction" 0.75
+    ft.G.hit_fraction;
+  Alcotest.(check bool) "fast-path lookup loop is allocation-free" true
+    ft.G.ft_zero_alloc
+
 let test_trajectory () =
   (* The history is append-only: the pre-optimization baseline must always
      be point zero, so regenerating BENCH_engine.json never loses it. *)
@@ -58,6 +80,7 @@ let tests =
   [
     Alcotest.test_case "report has required keys" `Quick test_required_keys;
     Alcotest.test_case "workload measurements sane" `Quick test_workloads;
+    Alcotest.test_case "flow-table lookup loop" `Quick test_flow_table_loop;
     Alcotest.test_case "trajectory keeps baseline" `Quick test_trajectory;
     Alcotest.test_case "serialization deterministic" `Quick
       test_json_parses_back;

@@ -20,6 +20,7 @@ let quick =
     measure_cycles = 300_000;
     batch = 32;
     cell = "";
+    classifier = "all";
   }
 
 (* --- Json --- *)
@@ -228,7 +229,7 @@ let test_manifest_shape () =
             (Printf.sprintf "manifest mentions %s" needle)
             true (minified_contains s needle))
         [
-          "ppp-telemetry/2"; "\"schema_version\":2"; "\"tool\":\"test\"";
+          "ppp-telemetry/3"; "\"schema_version\":3"; "\"tool\":\"test\"";
           "\"fig2\""; "wall_clock";
         ])
 
@@ -266,6 +267,40 @@ let test_manifest_alerts_shape () =
       Alcotest.(check bool) "per-name counts, names sorted" true
         (minified_contains s
            {|"alerts":{"events":3,"by_name":{"monitor.hidden_aggressor":2,"monitor.recovered":1}}|}))
+
+let test_manifest_classifier_shape () =
+  (* Schema 3's classifier section mirrors the alerts contract: always
+     present, empty-but-valid without data, per-cell counters with some. *)
+  with_recorder ~sample_cycles:100_000 (fun () ->
+      let manifest classifier =
+        Json.to_string ~minify:true
+          (Manifest.json ~classifier ~run:manifest_run ~experiments:[]
+             ~series:[] ~spans:[] ())
+      in
+      let empty = manifest [] in
+      Alcotest.(check bool) "empty classifier section is the valid shape" true
+        (minified_contains empty
+           {|"classifier":{"cells":0,"lookups":0,"hits":0,"upcalls":0,"installs":0,"evictions":0,"by_cell":[]}|});
+      let entry =
+        {
+          Recorder.cls_cell = "classifier/tss/128/0.0";
+          cls_backend = "tss";
+          cls_rules = 128;
+          cls_lookups = 1000;
+          cls_hits = 700;
+          cls_upcalls = 300;
+          cls_installs = 290;
+          cls_evictions = 12;
+        }
+      in
+      let s = manifest [ entry ] in
+      Alcotest.(check bool) "totals summed over cells" true
+        (minified_contains s
+           {|"cells":1,"lookups":1000,"hits":700,"upcalls":300,"installs":290,"evictions":12|});
+      Alcotest.(check bool) "per-cell entry carries backend and cell label"
+        true
+        (minified_contains s
+           {|{"cell":"classifier/tss/128/0.0","backend":"tss","rules":128,|}))
 
 let test_trace_shape () =
   with_recorder ~sample_cycles:100_000 (fun () ->
@@ -325,6 +360,8 @@ let tests =
     Alcotest.test_case "manifest shape" `Quick test_manifest_shape;
     Alcotest.test_case "manifest alerts section" `Quick
       test_manifest_alerts_shape;
+    Alcotest.test_case "manifest classifier section" `Quick
+      test_manifest_classifier_shape;
     Alcotest.test_case "deterministic trace shape" `Quick test_trace_shape;
     Alcotest.test_case "recorder validation and defaults" `Quick
       test_recorder_validation;
