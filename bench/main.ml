@@ -58,6 +58,20 @@ let classifier =
        all). Other experiments ignore it."
     "all"
 
+let traffic =
+  Cli.string cli [ "--traffic" ] ~docv:"MODEL"
+    ~doc:
+      "Source model for the traffic experiment (heavy | onoff | churn | \
+       all). Other experiments ignore it."
+    "all"
+
+let steering =
+  Cli.string cli [ "--steering" ] ~docv:"MODEL"
+    ~doc:
+      "NIC steering model for the traffic experiment (rss | fdir | all). \
+       Other experiments ignore it."
+    "all"
+
 let perf_gate_flag =
   Cli.flag cli [ "--perf-gate" ]
     ~doc:
@@ -83,13 +97,17 @@ let () =
   | a :: _ -> Cli.die cli (Printf.sprintf "unexpected argument %S" a));
   if !jobs < 0 then Cli.die cli "--jobs must be >= 0";
   if !batch < 1 then Cli.die cli "--batch must be >= 1";
-  if
-    !classifier <> "all"
-    && Ppp_classify.Classifier.kind_of_name !classifier = None
-  then
+  if Ppp_core.Runner.classifier_of_name !classifier = None then
     Cli.die cli
       (Printf.sprintf "unknown --classifier backend %S (tss|range|all)"
          !classifier);
+  if Ppp_core.Runner.traffic_of_name !traffic = None then
+    Cli.die cli
+      (Printf.sprintf "unknown --traffic model %S (heavy|onoff|churn|all)"
+         !traffic);
+  if Ppp_core.Runner.steering_of_name !steering = None then
+    Cli.die cli
+      (Printf.sprintf "unknown --steering model %S (rss|fdir|all)" !steering);
   Ppp_core.Parallel.set_jobs !jobs
 
 let quick = !quick
@@ -99,18 +117,19 @@ let batch = !batch
 
 let params =
   let p =
-    {
-      Ppp_core.Runner.default_params with
-      Ppp_core.Runner.batch = batch;
-      classifier = !classifier;
-    }
+    Ppp_core.Runner.Params.(
+      default |> with_batch batch
+      |> with_classifier
+           (Option.get (Ppp_core.Runner.classifier_of_name !classifier))
+      |> with_traffic (Option.get (Ppp_core.Runner.traffic_of_name !traffic))
+      |> with_steering
+           (Option.get (Ppp_core.Runner.steering_of_name !steering)))
   in
   if quick then
-    {
-      p with
-      Ppp_core.Runner.warmup_cycles = p.Ppp_core.Runner.warmup_cycles / 4;
-      measure_cycles = p.Ppp_core.Runner.measure_cycles / 4;
-    }
+    Ppp_core.Runner.Params.with_windows
+      ~warmup:(p.Ppp_core.Runner.warmup_cycles / 4)
+      ~measure:(p.Ppp_core.Runner.measure_cycles / 4)
+      p
   else p
 
 (* --- Part 1: reproduce every table and figure --- *)
@@ -405,6 +424,11 @@ let perf_gate () =
     ft.Ppp_core.Perf_gate.lookups_per_sec
     ft.Ppp_core.Perf_gate.bytes_per_lookup
     ft.Ppp_core.Perf_gate.ft_zero_alloc;
+  let sf = report.Ppp_core.Perf_gate.source_fill in
+  Printf.printf
+    "source-fill %d fills  %.3e fills/s  %.4f B/fill  zero_alloc=%b\n"
+    sf.Ppp_core.Perf_gate.fills sf.Ppp_core.Perf_gate.fills_per_sec
+    sf.Ppp_core.Perf_gate.bytes_per_fill sf.Ppp_core.Perf_gate.sf_zero_alloc;
   Printf.printf "wrote %s\n%!" out
 
 let () =

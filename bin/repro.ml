@@ -43,30 +43,59 @@ let params_args cli =
          all). Other experiments ignore it."
       "all"
   in
+  let traffic =
+    Cli.string cli [ "--traffic" ] ~docv:"MODEL"
+      ~doc:
+        "Source model for the traffic experiment (heavy | onoff | churn | \
+         all). Other experiments ignore it."
+      "all"
+  in
+  let steering =
+    Cli.string cli [ "--steering" ] ~docv:"MODEL"
+      ~doc:
+        "NIC steering model for the traffic experiment (rss | fdir | all). \
+         Other experiments ignore it."
+      "all"
+  in
   fun () ->
     (match Ppp_hw.Machine.by_name !config with
     | None -> Cli.die cli (Printf.sprintf "unknown config %S" !config)
     | Some c ->
         if !jobs < 0 then Cli.die cli "--jobs must be >= 0";
         if !batch < 1 then Cli.die cli "--batch must be >= 1";
-        if
-          !classifier <> "all"
-          && Ppp_classify.Classifier.kind_of_name !classifier = None
-        then
-          Cli.die cli
-            (Printf.sprintf "unknown --classifier backend %S (tss|range|all)"
-               !classifier);
+        let classifier =
+          match Ppp_core.Runner.classifier_of_name !classifier with
+          | Some k -> k
+          | None ->
+              Cli.die cli
+                (Printf.sprintf
+                   "unknown --classifier backend %S (tss|range|all)"
+                   !classifier)
+        in
+        let traffic =
+          match Ppp_core.Runner.traffic_of_name !traffic with
+          | Some m -> m
+          | None ->
+              Cli.die cli
+                (Printf.sprintf
+                   "unknown --traffic model %S (heavy|onoff|churn|all)"
+                   !traffic)
+        in
+        let steering =
+          match Ppp_core.Runner.steering_of_name !steering with
+          | Some s -> s
+          | None ->
+              Cli.die cli
+                (Printf.sprintf "unknown --steering model %S (rss|fdir|all)"
+                   !steering)
+        in
         Ppp_core.Parallel.set_jobs !jobs;
         let div = if !quick then 4 else 1 in
-        {
-          Ppp_core.Runner.config = c;
-          seed = !seed;
-          warmup_cycles = !warmup / div;
-          measure_cycles = !measure / div;
-          batch = !batch;
-          cell = "";
-          classifier = !classifier;
-        })
+        Ppp_core.Runner.Params.(
+          default |> with_config c |> with_seed !seed
+          |> with_windows ~warmup:(!warmup / div) ~measure:(!measure / div)
+          |> with_batch !batch |> with_classifier classifier
+          |> with_traffic traffic |> with_steering steering))
 
 (* --- shared flags: telemetry (--trace / --metrics / --sample-cycles) --- *)
 
@@ -421,8 +450,9 @@ let capture_main () =
   in
   let cap = Ppp_traffic.Pcap.create () in
   let pkt = Ppp_net.Packet.create 60 in
+  let fill = Ppp_traffic.Source.to_gen built.Ppp_apps.App.source in
   for _ = 1 to !count do
-    built.Ppp_apps.App.gen pkt;
+    fill pkt;
     Ppp_traffic.Pcap.append cap pkt
   done;
   Ppp_traffic.Pcap.save cap !out;

@@ -52,9 +52,11 @@ let () =
       ~wire_len:64
   in
 
-  (* 4. Wrap everything into a flow on core 0 and run it to steady state. *)
+  (* 4. Wrap everything into a flow on core 0 and run it to steady state.
+     [create_gen] wraps the bare closure in a [Ppp_traffic.Source.t]; use
+     [Flow.create ~source] directly for sources with flow identity. *)
   let flow =
-    Ppp_click.Flow.create ~heap ~rng:(Ppp_util.Rng.split rng) ~label:"demo"
+    Ppp_click.Flow.create_gen ~heap ~rng:(Ppp_util.Rng.split rng) ~label:"demo"
       ~gen ~elements ()
   in
   let results =

@@ -14,8 +14,9 @@ let () =
   let built = Ppp_apps.App.build Ppp_apps.App.MON ~heap:capture_heap ~rng ~scale in
   let cap = Ppp_traffic.Pcap.create () in
   let pkt = Ppp_net.Packet.create 60 in
+  let fill = Ppp_traffic.Source.to_gen built.Ppp_apps.App.source in
   for _ = 1 to 4096 do
-    built.Ppp_apps.App.gen pkt;
+    fill pkt;
     Ppp_traffic.Pcap.append cap pkt
   done;
   let path = Filename.temp_file "ppp_trace" ".pcap" in
@@ -34,7 +35,7 @@ let () =
   let flow_built = Ppp_apps.App.build Ppp_apps.App.MON ~heap ~rng ~scale in
   let flow =
     Ppp_click.Flow.create ~heap ~rng:(Ppp_util.Rng.split rng) ~label:"replay"
-      ~gen:(Ppp_traffic.Pcap.replay replayed)
+      ~source:(Ppp_traffic.Pcap.replay replayed)
       ~elements:flow_built.Ppp_apps.App.elements ()
   in
   let hier = Ppp_hw.Machine.build config in

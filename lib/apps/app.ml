@@ -56,7 +56,7 @@ let wire_len = function
 
 type built = {
   elements : Element.t list;
-  gen : Flow.generator;
+  source : Ppp_traffic.Source.t;
   config : string;
 }
 
@@ -116,19 +116,27 @@ let build_ip ~heap ~rng ~scale =
   in
   (pool, Ip_elements.forwarding_chain ~hop_table trie)
 
-(* Stable 5-tuple per flow index; Zipf flow popularity. *)
-let tuple_gen ~rng ~pool ~flows ~wire ~payload =
+(* Stable 5-tuple per flow index, uniform flow popularity, as a
+   first-class source with per-flow sequence numbers. *)
+let tuple_source ~rng ~pool ~flows ~wire ~payload =
   (* The paper drives every application with uniformly random traffic: this
      maximizes the flows' sensitivity to contention (Section 2.1). *)
-  fun pkt ->
-    let f = Rng.int rng flows in
-    let h = Hashes.fnv1a_int (f lxor 0x5bd1e995) in
-    let src = 0x0A000000 lor (h land 0xFFFFFF) in
-    let dst = Route_pool.dst_of_flow pool f in
-    let sport = 1024 + ((h lsr 24) land 0x3FFF) in
-    let dport = 1024 + ((h lsr 40) land 0x3FFF) in
-    Ppp_traffic.Gen.fill_ipv4_udp pkt ~src ~dst ~sport ~dport ~wire_len:wire;
-    payload pkt
+  let seqs = Array.make flows 0 in
+  Ppp_traffic.Source.make ~name:"uniform-tuples"
+    ~fill:(fun s pkt ->
+      let f = Rng.int rng flows in
+      let h = Hashes.fnv1a_int (f lxor 0x5bd1e995) in
+      let src = 0x0A000000 lor (h land 0xFFFFFF) in
+      let dst = Route_pool.dst_of_flow pool f in
+      let sport = 1024 + ((h lsr 24) land 0x3FFF) in
+      let dport = 1024 + ((h lsr 40) land 0x3FFF) in
+      Ppp_traffic.Gen.fill_ipv4_udp pkt ~src ~dst ~sport ~dport ~wire_len:wire;
+      payload pkt;
+      let seq = seqs.(f) in
+      seqs.(f) <- seq + 1;
+      Ppp_traffic.Source.set_meta s ~flow:f ~seq;
+      Ppp_traffic.Source.Filled)
+    ()
 
 let no_payload (_ : Ppp_net.Packet.t) = ()
 
@@ -174,7 +182,7 @@ let build kind ~heap ~rng ~scale =
       in
       {
         elements = [ More_elements.Syn.element syn ];
-        gen;
+        source = Ppp_traffic.Source.of_gen ~name:"syn-const" gen;
         config =
           Printf.sprintf "FromDevice(0) -> Syn(%d, %d) -> ToDevice(0)" reads
             instrs;
@@ -190,7 +198,7 @@ let build kind ~heap ~rng ~scale =
       let finish ~extra_elements ~extra_cfg ~payload =
         {
           elements = ip_chain @ extra_elements;
-          gen = tuple_gen ~rng:gen_rng ~pool ~flows:s.flows ~wire ~payload;
+          source = tuple_source ~rng:gen_rng ~pool ~flows:s.flows ~wire ~payload;
           config = ip_cfg ^ extra_cfg ^ " -> ToDevice(0)";
         }
       in
@@ -270,8 +278,8 @@ let build kind ~heap ~rng ~scale =
 let flow kind ~heap ~rng ~scale ?label () =
   let b = build kind ~heap ~rng ~scale in
   let label = match label with Some l -> l | None -> name kind in
-  Flow.create ~heap ~rng:(Rng.split rng) ~label ~gen:b.gen ~elements:b.elements
-    ()
+  Flow.create ~heap ~rng:(Rng.split rng) ~label ~source:b.source
+    ~elements:b.elements ()
 
 let registered = ref false
 

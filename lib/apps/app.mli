@@ -42,7 +42,9 @@ val of_name : string -> kind option
 
 type built = {
   elements : Ppp_click.Element.t list;
-  gen : Ppp_click.Flow.generator;
+  source : Ppp_traffic.Source.t;
+      (** the workload's traffic source (per-flow sequence numbers for the
+          realistic apps; a constant packet for SYN) *)
   config : string;  (** the equivalent Click-language chain *)
 }
 

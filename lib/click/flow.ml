@@ -6,7 +6,8 @@ let fn_skb_recycle = Ppp_hw.Fn.register "skb_recycle"
 
 type t = {
   label : string;
-  gen : generator;
+  src : Ppp_traffic.Source.t;
+  reorder : Ppp_traffic.Reorder.t;
   elements : Element.t list;
   ctx : Ctx.t;
   pkt : Ppp_net.Packet.t;
@@ -23,16 +24,20 @@ type t = {
       (* [Packet] of the builder's pooled view, built once: [source] returns
          it after refreshing the view, so the steady-state packet cycle
          allocates nothing. *)
+  item_idle : Ppp_hw.Engine.item;
+      (* [Idle] over the same pooled view, for an exhausted source: the
+         flow polls an empty input queue instead of processing a packet. *)
 }
 
-let create ~heap ~rng ~label ~gen ~elements ?(rx_slots = 64) ?(buf_stride = 2048)
-    () =
+let create ~heap ~rng ~label ~source ~elements ?(rx_slots = 64)
+    ?(buf_stride = 2048) () =
   if rx_slots <= 0 then invalid_arg "Flow.create: rx_slots must be positive";
   let open Ppp_simmem in
   let ctx = Ctx.create ~rng in
   {
     label;
-    gen;
+    src = source;
+    reorder = Ppp_traffic.Reorder.create ();
     elements;
     ctx;
     pkt = Ppp_net.Packet.create 60;
@@ -46,12 +51,21 @@ let create ~heap ~rng ~label ~gen ~elements ?(rx_slots = 64) ?(buf_stride = 2048
     forwarded = 0;
     dropped = 0;
     item = Ppp_hw.Engine.Packet (Ppp_hw.Trace.Builder.view ctx.Ctx.builder);
+    item_idle = Ppp_hw.Engine.Idle (Ppp_hw.Trace.Builder.view ctx.Ctx.builder);
   }
+
+let create_gen ~heap ~rng ~label ~gen ~elements ?rx_slots ?buf_stride () =
+  create ~heap ~rng ~label
+    ~source:(Ppp_traffic.Source.of_gen ~name:label gen)
+    ~elements ?rx_slots ?buf_stride ()
 
 let label t = t.label
 let forwarded t = t.forwarded
 let dropped t = t.dropped
 let elements t = t.elements
+let packet_source t = t.src
+let reorders t = Ppp_traffic.Reorder.reorders t.reorder
+let reorder_observed t = Ppp_traffic.Reorder.observed t.reorder
 
 let header_bytes = 54 (* Ethernet + IPv4 + transport ports *)
 
@@ -60,7 +74,6 @@ let receive t =
   let b = t.ctx.Ctx.builder in
   let slot = t.seq mod t.rx_slots in
   t.seq <- t.seq + 1;
-  t.gen t.pkt;
   t.pkt.Ppp_net.Packet.buf_addr <- t.buf_base + (slot * t.buf_stride);
   (* NIC DMA: descriptor write-back plus the packet's payload lines. *)
   Builder.dma b (Ppp_simmem.Iarray.addr_of t.rx_desc slot);
@@ -95,16 +108,29 @@ let recycle t slot =
 let source t (_now : int) =
   let b = t.ctx.Ctx.builder in
   Ppp_hw.Trace.Builder.clear b;
-  let slot = receive t in
-  (match Element.process_all t.elements t.ctx t.pkt with
-  | Element.Forward ->
-      transmit t slot;
-      t.forwarded <- t.forwarded + 1
-  | Element.Drop -> t.dropped <- t.dropped + 1);
-  recycle t slot;
-  (* [view], not [finish]: the engine replays this trace to completion
-     before calling us again, so the builder's buffer can be shared. The
-     view is the pooled record inside [t.item] — refreshing it and
-     returning the prebuilt item keeps this path allocation-free. *)
-  let (_ : Ppp_hw.Trace.t) = Ppp_hw.Trace.Builder.view b in
-  t.item
+  (* The fill happens before the NIC/driver trace is built: it only writes
+     the preallocated packet's bytes, so ordering it ahead of [receive]
+     leaves the emitted traces bit-identical to the old generator path. *)
+  match Ppp_traffic.Source.fill t.src t.pkt with
+  | Ppp_traffic.Source.Exhausted ->
+      (* Empty input queue: the flow polls and finds nothing. *)
+      Ctx.compute t.ctx ~fn:fn_from_device 100;
+      let (_ : Ppp_hw.Trace.t) = Ppp_hw.Trace.Builder.view b in
+      t.item_idle
+  | Ppp_traffic.Source.Filled ->
+      Ppp_traffic.Reorder.observe t.reorder
+        ~flow:(Ppp_traffic.Source.last_flow t.src)
+        ~seq:(Ppp_traffic.Source.last_seq t.src);
+      let slot = receive t in
+      (match Element.process_all t.elements t.ctx t.pkt with
+      | Element.Forward ->
+          transmit t slot;
+          t.forwarded <- t.forwarded + 1
+      | Element.Drop -> t.dropped <- t.dropped + 1);
+      recycle t slot;
+      (* [view], not [finish]: the engine replays this trace to completion
+         before calling us again, so the builder's buffer can be shared.
+         The view is the pooled record inside [t.item] — refreshing it and
+         returning the prebuilt item keeps this path allocation-free. *)
+      let (_ : Ppp_hw.Trace.t) = Ppp_hw.Trace.Builder.view b in
+      t.item

@@ -6,15 +6,35 @@
     trace per packet: NIC DMA, FromDevice descriptor/header reads, the
     elements' operations, ToDevice writes, and skb_recycle bookkeeping.
 
-    The input queue is assumed always backlogged (the paper drives each flow
-    at saturation to measure maximum throughput). *)
+    Input packets come from a {!Ppp_traffic.Source.t}. The flow observes
+    each packet's flow/sequence metadata through a {!Ppp_traffic.Reorder}
+    detector, so per-flow results gain a reorder metric ({!reorders}) —
+    nonzero exactly when the source chain includes a reordering stage such
+    as Flow-Director steering. A source that reports [Exhausted] (a finite
+    capture) turns further cycles into idle polls rather than raising.
+
+    The input queue is otherwise assumed always backlogged (the paper
+    drives each flow at saturation to measure maximum throughput). *)
 
 type generator = Ppp_net.Packet.t -> unit
-(** Fills a preallocated packet in place with the next input packet. *)
+(** Fills a preallocated packet in place with the next input packet — the
+    legacy closure shape, accepted via {!create_gen}. *)
 
 type t
 
 val create :
+  heap:Ppp_simmem.Heap.t ->
+  rng:Ppp_util.Rng.t ->
+  label:string ->
+  source:Ppp_traffic.Source.t ->
+  elements:Element.t list ->
+  ?rx_slots:int ->
+  ?buf_stride:int ->
+  unit ->
+  t
+(** [rx_slots] (default 64) RX buffers of [buf_stride] (default 2048) bytes. *)
+
+val create_gen :
   heap:Ppp_simmem.Heap.t ->
   rng:Ppp_util.Rng.t ->
   label:string ->
@@ -24,13 +44,23 @@ val create :
   ?buf_stride:int ->
   unit ->
   t
-(** [rx_slots] (default 64) RX buffers of [buf_stride] (default 2048) bytes. *)
+(** Compatibility wrapper: [create] over [Ppp_traffic.Source.of_gen gen]. *)
 
 val source : t -> Ppp_hw.Engine.source
 val label : t -> string
 val forwarded : t -> int
 val dropped : t -> int
 val elements : t -> Element.t list
+
+val packet_source : t -> Ppp_traffic.Source.t
+(** The traffic source feeding this flow. *)
+
+val reorders : t -> int
+(** Packets that arrived out of order within their flow (sequence below
+    the flow's high-water mark), as observed at the receive path. *)
+
+val reorder_observed : t -> int
+(** Packets the reorder detector has observed (= packets received). *)
 
 val fn_from_device : Ppp_hw.Fn.t
 val fn_to_device : Ppp_hw.Fn.t

@@ -41,6 +41,20 @@ type flow_table = {
     cache-hit audit, the loop must not touch the minor heap — the classifier
     experiment runs it once per simulated packet. *)
 
+type source_fill = {
+  fills : int;
+  sf_wall_s : float;
+  fills_per_sec : float;
+  bytes_per_fill : float;
+  sf_zero_alloc : bool;
+}
+(** The {!Ppp_traffic.Source.fill} hot path: a heavy-tailed source (the
+    most expensive built-in model — size-weighted flow sampling plus full
+    frame construction) filling one preallocated packet in a tight loop.
+    Every simulated packet of every experiment pays this path; the built-in
+    sources promise integer-only sampling, so the loop must not touch the
+    minor heap. *)
+
 type report = {
   config : string;
   seed : int;
@@ -51,6 +65,7 @@ type report = {
   workloads : measurement list;
   hit : hit_path;
   flow_table : flow_table;
+  source_fill : source_fill;
 }
 
 type trajectory_point = {

@@ -10,6 +10,47 @@ let flow_on ?node ~core kind =
   in
   { kind; core; data_node }
 
+type classifier = Tss | Range | All_backends
+
+let classifier_name = function
+  | Tss -> "tss"
+  | Range -> "range"
+  | All_backends -> "all"
+
+let classifier_of_name = function
+  | "tss" -> Some Tss
+  | "range" -> Some Range
+  | "all" -> Some All_backends
+  | _ -> None
+
+type traffic_model = Heavy_tail | Onoff | Churn | All_models
+
+let traffic_name = function
+  | Heavy_tail -> "heavy"
+  | Onoff -> "onoff"
+  | Churn -> "churn"
+  | All_models -> "all"
+
+let traffic_of_name = function
+  | "heavy" | "heavy_tail" | "heavy-tail" -> Some Heavy_tail
+  | "onoff" | "on-off" -> Some Onoff
+  | "churn" -> Some Churn
+  | "all" -> Some All_models
+  | _ -> None
+
+type steering = Rss | Flow_director | Both_steerings
+
+let steering_name = function
+  | Rss -> "rss"
+  | Flow_director -> "fdir"
+  | Both_steerings -> "all"
+
+let steering_of_name = function
+  | "rss" -> Some Rss
+  | "fdir" | "flow-director" | "flow_director" -> Some Flow_director
+  | "all" -> Some Both_steerings
+  | _ -> None
+
 type params = {
   config : Ppp_hw.Machine.config;
   seed : int;
@@ -17,7 +58,9 @@ type params = {
   measure_cycles : int;
   batch : int;
   cell : string;
-  classifier : string;
+  classifier : classifier;
+  traffic : traffic_model;
+  steering : steering;
 }
 
 let default_params =
@@ -28,7 +71,9 @@ let default_params =
     measure_cycles = 10_000_000;
     batch = 32;
     cell = "";
-    classifier = "all";
+    classifier = All_backends;
+    traffic = All_models;
+    steering = Both_steerings;
   }
 
 let quick_params =
@@ -39,8 +84,28 @@ let quick_params =
     measure_cycles = 1_000_000;
     batch = 32;
     cell = "";
-    classifier = "all";
+    classifier = All_backends;
+    traffic = All_models;
+    steering = Both_steerings;
   }
+
+module Params = struct
+  type t = params
+
+  let default = default_params
+  let quick = quick_params
+  let with_config config p = { p with config }
+  let with_seed seed p = { p with seed }
+
+  let with_windows ~warmup ~measure p =
+    { p with warmup_cycles = warmup; measure_cycles = measure }
+
+  let with_batch batch p = { p with batch }
+  let with_cell cell p = { p with cell }
+  let with_classifier classifier p = { p with classifier }
+  let with_traffic traffic p = { p with traffic }
+  let with_steering steering p = { p with steering }
+end
 
 let run ?(params = default_params) ?probe ?wrap specs =
   if specs = [] then invalid_arg "Runner.run: no flows";

@@ -16,15 +16,9 @@ type data = { cells : cell list }
 
 let backends ~(params : Runner.params) =
   match params.Runner.classifier with
-  | "all" -> Ppp_classify.Classifier.all
-  | name -> (
-      match Ppp_classify.Classifier.kind_of_name name with
-      | Some k -> [ k ]
-      | None ->
-          invalid_arg
-            (Printf.sprintf
-               "classifier experiment: unknown backend %S (tss|range|all)"
-               name))
+  | Runner.All_backends -> Ppp_classify.Classifier.all
+  | Runner.Tss -> [ Ppp_classify.Classifier.Tss ]
+  | Runner.Range -> [ Ppp_classify.Classifier.Range ]
 
 (* Rule-set sizes and skews of the sweep. Sizes scale down with the machine
    like every other working set in the repo so the tiny config stays fast. *)
@@ -64,11 +58,20 @@ let build_flow ~(params : Runner.params) ~heap ~rng ~backend ~nrules =
   in
   let zipf = ref (Ppp_traffic.Zipf.create ~n:u ~s:0.0) in
   let gen_rng = Ppp_util.Rng.split rng in
-  let gen pkt =
-    let f = flowids.(Ppp_traffic.Zipf.sample !zipf gen_rng) in
-    Ppp_traffic.Gen.fill_ipv4_udp pkt ~src:f.Ppp_net.Flowid.src
-      ~dst:f.Ppp_net.Flowid.dst ~sport:f.Ppp_net.Flowid.sport
-      ~dport:f.Ppp_net.Flowid.dport ~wire_len:64
+  let seqs = Array.make u 0 in
+  let source =
+    Ppp_traffic.Source.make ~name:"zipf-rules"
+      ~fill:(fun s pkt ->
+        let i = Ppp_traffic.Zipf.sample !zipf gen_rng in
+        let f = flowids.(i) in
+        Ppp_traffic.Gen.fill_ipv4_udp pkt ~src:f.Ppp_net.Flowid.src
+          ~dst:f.Ppp_net.Flowid.dst ~sport:f.Ppp_net.Flowid.sport
+          ~dport:f.Ppp_net.Flowid.dport ~wire_len:64;
+        let seq = seqs.(i) in
+        seqs.(i) <- seq + 1;
+        Ppp_traffic.Source.set_meta s ~flow:i ~seq;
+        Ppp_traffic.Source.Filled)
+      ()
   in
   let elements =
     [
@@ -77,7 +80,9 @@ let build_flow ~(params : Runner.params) ~heap ~rng ~backend ~nrules =
       Ppp_apps.Ip_elements.dec_ip_ttl ();
     ]
   in
-  let flow = Ppp_click.Flow.create ~heap ~rng ~label:"classifier" ~gen ~elements () in
+  let flow =
+    Ppp_click.Flow.create ~heap ~rng ~label:"classifier" ~source ~elements ()
+  in
   let set_skew s = zipf := Ppp_traffic.Zipf.create ~n:u ~s in
   (flow, fp, set_skew)
 

@@ -35,18 +35,26 @@ let build_flow ~params ~heap ~rng ~cached =
     Ppp_simmem.Iarray.init heap ~elem_bytes:16 (min routes 65536) (fun i -> i)
   in
   let gen_rng = Ppp_util.Rng.split rng in
-  let gen pkt =
-    let f = Ppp_util.Rng.int gen_rng universe in
-    let h = Ppp_util.Hashes.fnv1a_int (f lxor 0x5bd1e995) in
-    Ppp_traffic.Gen.fill_ipv4_udp pkt
-      ~src:(0x0A000000 lor (h land 0xFFFFFF))
-      ~dst:(Ppp_apps.Route_pool.dst_of_flow pool f)
-      ~sport:(1024 + ((h lsr 24) land 0x3FFF))
-      ~dport:(1024 + ((h lsr 40) land 0x3FFF))
-      ~wire_len:64
+  let seqs = Array.make universe 0 in
+  let source () =
+    Ppp_traffic.Source.make ~name:"uniform-universe"
+      ~fill:(fun s pkt ->
+        let f = Ppp_util.Rng.int gen_rng universe in
+        let h = Ppp_util.Hashes.fnv1a_int (f lxor 0x5bd1e995) in
+        Ppp_traffic.Gen.fill_ipv4_udp pkt
+          ~src:(0x0A000000 lor (h land 0xFFFFFF))
+          ~dst:(Ppp_apps.Route_pool.dst_of_flow pool f)
+          ~sport:(1024 + ((h lsr 24) land 0x3FFF))
+          ~dport:(1024 + ((h lsr 40) land 0x3FFF))
+          ~wire_len:64;
+        let seq = seqs.(f) in
+        seqs.(f) <- seq + 1;
+        Ppp_traffic.Source.set_meta s ~flow:f ~seq;
+        Ppp_traffic.Source.Filled)
+      ()
   in
   if not cached then
-    ( Ppp_click.Flow.create ~heap ~rng ~label:"IP" ~gen
+    ( Ppp_click.Flow.create ~heap ~rng ~label:"IP" ~source:(source ())
         ~elements:(Ppp_apps.Ip_elements.forwarding_chain ~hop_table trie)
         (),
       None )
@@ -59,7 +67,9 @@ let build_flow ~params ~heap ~rng ~cached =
         Ppp_apps.Ip_elements.dec_ip_ttl ();
       ]
     in
-    (Ppp_click.Flow.create ~heap ~rng ~label:"IP+cache" ~gen ~elements (), Some fc)
+    ( Ppp_click.Flow.create ~heap ~rng ~label:"IP+cache" ~source:(source ())
+        ~elements (),
+      Some fc )
   end
 
 let run_one ~params ~cached ~with_competitors =

@@ -49,7 +49,7 @@ let aggressor_flow ~params ~switch_after ~heap ~rng =
       ~quiet_reads:4 ~loud_reads:256 ~switch_after
   in
   Ppp_click.Flow.create ~heap ~rng ~label:"two-faced"
-    ~gen:Throttle.Two_faced.gen ~elements ()
+    ~source:(Throttle.Two_faced.source ()) ~elements ()
 
 (* The aggressor's offline profile is its tame face: what a solo
    characterization run would have recorded before deployment. *)

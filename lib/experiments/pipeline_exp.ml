@@ -90,8 +90,8 @@ let measure ?(params = Runner.default_params) () =
   let mk_ip_flow ~heap ~rng =
     let b = Ppp_apps.App.build Ppp_apps.App.IP ~heap ~rng ~scale in
     Ppp_click.Flow.source
-      (Ppp_click.Flow.create ~heap ~rng ~label:"IP" ~gen:b.Ppp_apps.App.gen
-         ~elements:b.Ppp_apps.App.elements ())
+      (Ppp_click.Flow.create ~heap ~rng ~label:"IP"
+         ~source:b.Ppp_apps.App.source ~elements:b.Ppp_apps.App.elements ())
   in
   let ip_par = side_of_results "IP parallel (1 core)" (run_parallel ~params ~mk_flow:mk_ip_flow) in
   let mk_ip_staged ~heaps ~rng =
@@ -102,7 +102,7 @@ let measure ?(params = Runner.default_params) () =
       | [] -> assert false
     in
     Ppp_click.Staged.create ~heap:heaps.(0) ~rng ~label:"IP-pipe"
-      ~gen:b.Ppp_apps.App.gen
+      ~gen:(Ppp_traffic.Source.to_gen b.Ppp_apps.App.source)
       ~stages:[ stage0; stage1 ] ()
   in
   let ip_pipe =
@@ -125,7 +125,7 @@ let measure ?(params = Runner.default_params) () =
         ~sport:7 ~dport:7 ~wire_len:64
     in
     Ppp_click.Flow.source
-      (Ppp_click.Flow.create ~heap ~rng ~label:"SYN2x" ~gen
+      (Ppp_click.Flow.create_gen ~heap ~rng ~label:"SYN2x" ~gen
          ~elements:[ Ppp_apps.More_elements.Syn.element syn ] ())
   in
   let syn_par =

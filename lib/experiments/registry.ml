@@ -109,6 +109,12 @@ let all =
       paper_ref = "Section 4";
       run = Monitor_exp.run;
     };
+    {
+      id = "traffic";
+      title = "Prediction and monitoring under realistic traffic and steering";
+      paper_ref = "extension";
+      run = Traffic_exp.run;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

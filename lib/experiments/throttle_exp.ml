@@ -35,7 +35,8 @@ let run_scenario ~params ~switch_after ~throttle_budget =
         in
         let flow =
           Ppp_click.Flow.create ~heap ~rng:(Ppp_util.Rng.split rng)
-            ~label:"two-faced" ~gen:Throttle.Two_faced.gen ~elements ()
+            ~label:"two-faced" ~source:(Throttle.Two_faced.source ()) ~elements
+            ()
         in
         let source = Ppp_click.Flow.source flow in
         let source =

@@ -28,6 +28,7 @@ let write_metrics_dir ~dir ~run =
     (Filename.concat dir "manifest.json")
     (Manifest.json ~events
        ~classifier:(Recorder.classifier ())
+       ~traffic:(Recorder.traffic ())
        ~run
        ~experiments:(Recorder.experiments ())
        ~series ~spans ())

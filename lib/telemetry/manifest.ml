@@ -9,8 +9,8 @@ type run = {
   sample_cycles : int option;
 }
 
-let schema = "ppp-telemetry/3"
-let schema_version = 3
+let schema = "ppp-telemetry/4"
+let schema_version = 4
 
 (* The alerts section summarizes monitor events. It is always present —
    an empty section (0 events) is the valid shape for non-monitor runs —
@@ -64,7 +64,44 @@ let classifier_json (entries : Recorder.classifier_entry list) =
              entries) );
     ]
 
-let json ?(events = []) ?(classifier = []) ~run ~experiments ~series ~spans () =
+(* Schema 4: the traffic section summarizes the traffic-realism experiment
+   cells — reordering, steering migrations and predictor/monitor accuracy
+   under non-stationary load. Always present like alerts and classifier;
+   an empty section (0 cells) is the valid shape for runs that never
+   exercise the traffic experiment. *)
+let traffic_json (entries : Recorder.traffic_entry list) =
+  let sum f = List.fold_left (fun acc e -> acc + f e) 0 entries in
+  Json.Obj
+    [
+      ("cells", Json.Int (List.length entries));
+      ("packets", Json.Int (sum (fun e -> e.Recorder.tr_packets)));
+      ("reorders", Json.Int (sum (fun e -> e.Recorder.tr_reorders)));
+      ("migrations", Json.Int (sum (fun e -> e.Recorder.tr_migrations)));
+      ("evictions", Json.Int (sum (fun e -> e.Recorder.tr_evictions)));
+      ("false_alerts", Json.Int (sum (fun e -> e.Recorder.tr_false_alerts)));
+      ( "by_cell",
+        Json.Arr
+          (List.map
+             (fun (e : Recorder.traffic_entry) ->
+               Json.Obj
+                 [
+                   ("cell", Json.Str e.Recorder.tr_cell);
+                   ("model", Json.Str e.Recorder.tr_model);
+                   ("steering", Json.Str e.Recorder.tr_steering);
+                   ("packets", Json.Int e.Recorder.tr_packets);
+                   ("reorders", Json.Int e.Recorder.tr_reorders);
+                   ("migrations", Json.Int e.Recorder.tr_migrations);
+                   ("evictions", Json.Int e.Recorder.tr_evictions);
+                   ("false_alerts", Json.Int e.Recorder.tr_false_alerts);
+                   ( "predicted_drop",
+                     Json.Float e.Recorder.tr_predicted_drop );
+                   ("measured_drop", Json.Float e.Recorder.tr_measured_drop);
+                 ])
+             entries) );
+    ]
+
+let json ?(events = []) ?(classifier = []) ?(traffic = []) ~run ~experiments
+    ~series ~spans () =
   let n_slices =
     List.fold_left
       (fun acc (s : Timeseries.t) -> acc + List.length s.Timeseries.slices)
@@ -123,6 +160,7 @@ let json ?(events = []) ?(classifier = []) ~run ~experiments ~series ~spans () =
           ] );
       ("alerts", alerts_json events);
       ("classifier", classifier_json classifier);
+      ("traffic", traffic_json traffic);
       ( "wall_clock",
         Json.Obj
           [

@@ -20,15 +20,18 @@ type run = {
 val json :
   ?events:Event.t list ->
   ?classifier:Recorder.classifier_entry list ->
+  ?traffic:Recorder.traffic_entry list ->
   run:run ->
   experiments:Recorder.experiment_entry list ->
   series:Timeseries.t list ->
   spans:Span.t list ->
   unit ->
   Json.t
-(** Schema "ppp-telemetry/3": a [schema_version] field, an [alerts] section
-    summarizing monitor events (count + per-name breakdown), and a
-    [classifier] section summarizing fast-path/slow-path counters (totals +
-    per-cell breakdown). Both sections are always emitted; with no data
-    they are the empty-but-valid shapes ({["events": 0]}, {["cells": 0]}),
-    so runs that exercise neither subsystem stay schema-conforming. *)
+(** Schema "ppp-telemetry/4": a [schema_version] field, an [alerts] section
+    summarizing monitor events (count + per-name breakdown), a [classifier]
+    section summarizing fast-path/slow-path counters (totals + per-cell
+    breakdown), and a [traffic] section summarizing the traffic-realism
+    cells (reorders, steering migrations, predictor/monitor accuracy).
+    All three sections are always emitted; with no data they are the
+    empty-but-valid shapes ({["events": 0]}, {["cells": 0]}), so runs that
+    exercise none of the subsystems stay schema-conforming. *)

@@ -16,6 +16,19 @@ type classifier_entry = {
   cls_evictions : int;
 }
 
+type traffic_entry = {
+  tr_cell : string;
+  tr_model : string;
+  tr_steering : string;
+  tr_packets : int;
+  tr_reorders : int;
+  tr_migrations : int;
+  tr_evictions : int;
+  tr_false_alerts : int;
+  tr_predicted_drop : float;
+  tr_measured_drop : float;
+}
+
 (* Sampling config and the current experiment id are read from worker
    domains on the hot-ish path, so they live in atomics; the accumulators
    are mutated under one mutex. *)
@@ -28,6 +41,7 @@ let acc_spans : Span.t list ref = ref []
 let acc_events : Event.t list ref = ref []
 let acc_experiments : experiment_entry list ref = ref []
 let acc_classifier : classifier_entry list ref = ref []
+let acc_traffic : traffic_entry list ref = ref []
 
 let locked f =
   Mutex.lock lock;
@@ -47,7 +61,8 @@ let clear_data () =
       acc_spans := [];
       acc_events := [];
       acc_experiments := [];
-      acc_classifier := [])
+      acc_classifier := [];
+      acc_traffic := [])
 
 let reset () =
   Atomic.set sampling_setting 0;
@@ -109,3 +124,14 @@ let classifier () =
         (fun a b ->
           compare (a.cls_cell, a.cls_backend) (b.cls_cell, b.cls_backend))
         !acc_classifier)
+
+let add_traffic e = locked (fun () -> acc_traffic := e :: !acc_traffic)
+
+let traffic () =
+  locked (fun () ->
+      List.sort
+        (fun a b ->
+          compare
+            (a.tr_cell, a.tr_model, a.tr_steering)
+            (b.tr_cell, b.tr_model, b.tr_steering))
+        !acc_traffic)

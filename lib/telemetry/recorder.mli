@@ -28,6 +28,19 @@ type classifier_entry = {
   cls_evictions : int;
 }
 
+type traffic_entry = {
+  tr_cell : string;  (** experiment cell label, e.g. "traffic/heavy/1.1/fdir" *)
+  tr_model : string;  (** traffic model name: "heavy" | "onoff" | "churn" *)
+  tr_steering : string;  (** steering model name: "rss" | "fdir" *)
+  tr_packets : int;  (** packets the victim forwarded or dropped *)
+  tr_reorders : int;  (** RFC 4737 reordered singletons seen by the victim *)
+  tr_migrations : int;  (** Flow-Director core migrations (0 under RSS) *)
+  tr_evictions : int;  (** flow-table evictions forced by the source *)
+  tr_false_alerts : int;  (** monitor alerts with no real aggressor present *)
+  tr_predicted_drop : float;  (** stationary-model predicted drop fraction *)
+  tr_measured_drop : float;  (** drop fraction actually measured *)
+}
+
 val configure : ?sample_cycles:int -> ?spans:bool -> unit -> unit
 (** Turns collection on. [sample_cycles] enables counter sampling at that
     slice length (in simulated cycles); [spans] enables wall-clock span
@@ -89,3 +102,10 @@ val add_classifier : classifier_entry -> unit
 
 val classifier : unit -> classifier_entry list
 (** Sorted by (cell, backend) — deterministic regardless of job count. *)
+
+val add_traffic : traffic_entry -> unit
+(** Thread-safe; always recorded (like {!add_classifier}). *)
+
+val traffic : unit -> traffic_entry list
+(** Sorted by (cell, model, steering) — deterministic regardless of job
+    count. *)

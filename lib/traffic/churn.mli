@@ -1,0 +1,33 @@
+(** Flow arrival/departure over a live-flow table.
+
+    [live] slots hold the concurrently-live flows (the table scales to
+    millions of slots — storage is two int arrays). Each packet comes from
+    a uniform random slot; with probability 1/[churn_every] per packet a
+    random slot first departs and a fresh, never-before-seen flow id takes
+    its place. Because ids never repeat, every arrival carries a new
+    synthetic 5-tuple — the workload that forces [Flow_table] to evict for
+    real rather than settle into a fixed working set. *)
+
+type t
+
+val create : live:int -> churn_every:int -> ?flow_base:int -> unit -> t
+
+val live : t -> int
+(** Number of concurrently-live flows (the slot count). *)
+
+val arrivals : t -> int
+(** Departures+arrivals performed so far. *)
+
+val distinct_flows : t -> int
+(** Total distinct flow ids ever live (initial population + arrivals). *)
+
+val source :
+  t ->
+  rng:Ppp_util.Rng.t ->
+  ?wire_len:int ->
+  ?fill:(Ppp_net.Packet.t -> int -> unit) ->
+  unit ->
+  Source.t
+(** The churning source; allocation-free fills, per-flow sequence numbers,
+    never exhausts. Packets built by [fill pkt flow] (default
+    {!Gen.fill_flow} at [wire_len], default 64); ids offset by [flow_base]. *)

@@ -12,6 +12,18 @@ let fill_ipv4_udp pkt ~src ~dst ~sport ~dport ~wire_len =
   Transport.set_udp_header pkt ~src:sport ~dst:dport
     ~payload_len:(ip_payload - Transport.udp_header_bytes)
 
+(* A stable synthetic 5-tuple per abstract flow id, shared by every source
+   model so flow ids form one address space: sources built over disjoint id
+   ranges never collide on a tuple. Integer-only (FNV + masks) — the
+   source fill path must not allocate. *)
+let fill_flow pkt ~flow ~wire_len =
+  let h = Ppp_util.Hashes.fnv1a_int (flow lxor 0x9E3779B9) in
+  let src = 0x0A000000 lor (h land 0xFFFFFF) in
+  let dst = 0x0B000000 lor ((h lsr 16) land 0xFFFFFF) in
+  let sport = 1024 + ((h lsr 24) land 0x3FFF) in
+  let dport = 1024 + ((h lsr 40) land 0x3FFF) in
+  fill_ipv4_udp pkt ~src ~dst ~sport ~dport ~wire_len
+
 let random_payload rng pkt ~pos ~len =
   for i = pos to pos + len - 1 do
     Ppp_net.Packet.set8 pkt i (Ppp_util.Rng.byte rng)

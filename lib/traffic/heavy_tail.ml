@@ -1,0 +1,128 @@
+(* Bounded-Pareto flow sizes with exact integer mass accounting.
+
+   Float arithmetic appears only at [create] time, when each flow's
+   realized size in packets is drawn by inverting the bounded-Pareto CDF.
+   From then on everything is integers: the per-flow sizes become a prefix
+   sum, and [sample] is one bounded [Rng.int] draw plus a binary search —
+   allocation-free, so a heavy-tailed source passes the perf gate's
+   zero-alloc audit. *)
+
+type t = {
+  flows : int;
+  alpha : float;
+  min_pkts : int;
+  max_pkts : int;
+  sizes : int array; (* realized size of each flow, in packets *)
+  cum : int array; (* cum.(i) = sizes.(0) + .. + sizes.(i) *)
+  total : int; (* exact total mass = cum.(flows - 1) *)
+  seq : int array; (* per-flow sequence counters for the source *)
+}
+
+(* Inverse CDF of the bounded Pareto on [l, h] with tail index alpha:
+   x(u) = l / (1 - u * (1 - (l/h)^alpha))^(1/alpha). *)
+let quantile ~alpha ~l ~h u =
+  let ratio = 1.0 -. ((l /. h) ** alpha) in
+  l /. ((1.0 -. (u *. ratio)) ** (1.0 /. alpha))
+
+let create ~seed ~flows ~alpha ?(min_pkts = 1) ?(max_pkts = 100_000) () =
+  if flows <= 0 then invalid_arg "Heavy_tail.create: flows must be positive";
+  if alpha <= 0.0 then invalid_arg "Heavy_tail.create: alpha must be positive";
+  if min_pkts < 1 || max_pkts < min_pkts then
+    invalid_arg "Heavy_tail.create: need 1 <= min_pkts <= max_pkts";
+  let rng = Ppp_util.Rng.create ~seed in
+  let l = float_of_int min_pkts and h = float_of_int max_pkts in
+  let sizes =
+    Array.init flows (fun _ ->
+        let u = Ppp_util.Rng.float rng 1.0 in
+        let x = quantile ~alpha ~l ~h u in
+        let n = int_of_float x in
+        if n < min_pkts then min_pkts else if n > max_pkts then max_pkts else n)
+  in
+  let cum = Array.make flows 0 in
+  let acc = ref 0 in
+  for i = 0 to flows - 1 do
+    acc := !acc + sizes.(i);
+    cum.(i) <- !acc
+  done;
+  {
+    flows;
+    alpha;
+    min_pkts;
+    max_pkts;
+    sizes;
+    cum;
+    total = !acc;
+    seq = Array.make flows 0;
+  }
+
+let flows t = t.flows
+let total_pkts t = t.total
+let size t i = t.sizes.(i)
+
+(* First index whose cumulative mass exceeds r — flow i is drawn with
+   probability sizes.(i)/total, exactly. Integer-only. *)
+let sample t rng =
+  let r = Ppp_util.Rng.int rng t.total in
+  let lo = ref 0 and hi = ref (t.flows - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) > r then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let top_mass t ~k =
+  if k <= 0 then 0.0
+  else begin
+    let sorted = Array.copy t.sizes in
+    Array.sort (fun a b -> compare b a) sorted;
+    let k = min k t.flows in
+    let acc = ref 0 in
+    for i = 0 to k - 1 do
+      acc := !acc + sorted.(i)
+    done;
+    float_of_int !acc /. float_of_int t.total
+  end
+
+(* Expected fraction of total mass held by the k largest of [flows] draws:
+   the largest k order statistics occupy (asymptotically) the top k/flows
+   quantile band, so the fraction is the integral of the quantile function
+   over [1-k/flows, 1] divided by its integral over [0, 1]. Trapezoid rule;
+   used by the qcheck property as the analytic reference. *)
+let analytic_top_mass ~flows ~alpha ?(min_pkts = 1) ?(max_pkts = 100_000) ~k ()
+    =
+  if k <= 0 then 0.0
+  else if k >= flows then 1.0
+  else begin
+    let l = float_of_int min_pkts and h = float_of_int max_pkts in
+    let steps = 20_000 in
+    let integral a b =
+      let acc = ref 0.0 in
+      let w = (b -. a) /. float_of_int steps in
+      for i = 0 to steps - 1 do
+        let u0 = a +. (w *. float_of_int i) in
+        let u1 = u0 +. w in
+        acc :=
+          !acc
+          +. (w *. 0.5 *. (quantile ~alpha ~l ~h u0 +. quantile ~alpha ~l ~h u1))
+      done;
+      !acc
+    in
+    let cut = 1.0 -. (float_of_int k /. float_of_int flows) in
+    integral cut 1.0 /. integral 0.0 1.0
+  end
+
+let source t ~rng ?(wire_len = 64) ?(flow_base = 0) ?fill () =
+  let write =
+    match fill with
+    | Some f -> f
+    | None -> fun pkt flow -> Gen.fill_flow pkt ~flow ~wire_len
+  in
+  Source.make ~name:"heavy_tail"
+    ~fill:(fun src pkt ->
+      let f = sample t rng in
+      let seq = t.seq.(f) in
+      t.seq.(f) <- seq + 1;
+      write pkt (flow_base + f);
+      Source.set_meta src ~flow:(flow_base + f) ~seq;
+      Source.Filled)
+    ()

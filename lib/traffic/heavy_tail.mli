@@ -1,0 +1,65 @@
+(** Heavy-tailed flow-size sampler: bounded Pareto elephants and mice.
+
+    [create] draws one realized size (in packets) per flow from a bounded
+    Pareto distribution on [[min_pkts, max_pkts]] with tail index [alpha]
+    (alpha near 1 = extreme skew, a few elephant flows carry almost all
+    bytes; alpha near 2 = milder skew). Mass accounting is exact: the
+    realized sizes form an integer prefix-sum, [sample] draws flows with
+    probability proportional to their realized size, and {!top_mass}
+    reports the exact fraction of total packets held by the k largest
+    flows. After [create], the hot path is integer-only and
+    allocation-free. *)
+
+type t
+
+val create :
+  seed:int ->
+  flows:int ->
+  alpha:float ->
+  ?min_pkts:int ->
+  ?max_pkts:int ->
+  unit ->
+  t
+(** Realizes the per-flow sizes. [min_pkts] defaults to 1, [max_pkts] to
+    100_000. Equal seeds yield equal size vectors. *)
+
+val flows : t -> int
+
+val total_pkts : t -> int
+(** Exact total mass (sum of realized sizes), in packets. *)
+
+val size : t -> int -> int
+(** Realized size of flow [i], in packets. *)
+
+val sample : t -> Ppp_util.Rng.t -> int
+(** Draws a flow index with probability proportional to its realized size.
+    One bounded integer draw + binary search; allocation-free. *)
+
+val top_mass : t -> k:int -> float
+(** Exact fraction of total mass held by the [k] largest flows. *)
+
+val analytic_top_mass :
+  flows:int ->
+  alpha:float ->
+  ?min_pkts:int ->
+  ?max_pkts:int ->
+  k:int ->
+  unit ->
+  float
+(** Expected top-[k] mass fraction under the same distribution, by numeric
+    integration of the quantile function — the reference value the qcheck
+    property compares {!top_mass} against. *)
+
+val source :
+  t ->
+  rng:Ppp_util.Rng.t ->
+  ?wire_len:int ->
+  ?flow_base:int ->
+  ?fill:(Ppp_net.Packet.t -> int -> unit) ->
+  unit ->
+  Source.t
+(** A {!Source.t} emitting a size-weighted random flow per fill, with
+    per-flow sequence numbers. Flow ids are offset by [flow_base]
+    (default 0) so several sources can share one id space. Packets are
+    built by [fill pkt flow] (default {!Gen.fill_flow} at [wire_len],
+    default 64). Never exhausts. *)

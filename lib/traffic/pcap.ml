@@ -101,16 +101,36 @@ let load path =
   close_in ic;
   of_bytes b
 
-let replay ?(loop = true) t =
+let replay ?(loop = true) ?(name = "pcap") t =
   if t.count = 0 then invalid_arg "Pcap.replay: empty capture";
   let arr = Array.of_list (records t) in
+  (* Flow identity of a captured packet: hash of its first header bytes
+     (through the transport ports when present). Precomputed per record so
+     the fill path does no byte scanning. *)
+  let flow_of r =
+    let len = min r.pkt.Ppp_net.Packet.len 42 in
+    Ppp_util.Hashes.fnv1a_bytes r.pkt.Ppp_net.Packet.data ~pos:0 ~len
+  in
+  let fids = Array.map flow_of arr in
+  let seqs = Hashtbl.create 64 in
   let i = ref 0 in
-  fun pkt ->
-    if !i >= Array.length arr then
-      if loop then i := 0 else failwith "Pcap.replay: capture exhausted";
-    let r = arr.(!i) in
-    incr i;
-    let len = r.pkt.Ppp_net.Packet.len in
-    let len = min len (Ppp_net.Packet.capacity pkt) in
-    Bytes.blit r.pkt.Ppp_net.Packet.data 0 pkt.Ppp_net.Packet.data 0 len;
-    Ppp_net.Packet.resize pkt len
+  Source.make ~name
+    ~fill:(fun src pkt ->
+      if !i >= Array.length arr && loop then i := 0;
+      if !i >= Array.length arr then Source.Exhausted
+      else begin
+        let r = arr.(!i) in
+        let flow = fids.(!i) in
+        incr i;
+        let len = r.pkt.Ppp_net.Packet.len in
+        let len = min len (Ppp_net.Packet.capacity pkt) in
+        Bytes.blit r.pkt.Ppp_net.Packet.data 0 pkt.Ppp_net.Packet.data 0 len;
+        Ppp_net.Packet.resize pkt len;
+        let seq =
+          match Hashtbl.find_opt seqs flow with Some s -> s | None -> 0
+        in
+        Hashtbl.replace seqs flow (seq + 1);
+        Source.set_meta src ~flow ~seq;
+        Source.Filled
+      end)
+    ()

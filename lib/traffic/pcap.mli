@@ -22,7 +22,11 @@ val of_bytes : Bytes.t -> (t, string) result
 val save : t -> string -> unit
 val load : string -> (t, string) result
 
-val replay : ?loop:bool -> t -> Ppp_net.Packet.t -> unit
-(** A flow generator cycling through the capture ([loop] defaults true;
-    when false, raises [Failure] past the end). Raises [Invalid_argument]
-    on an empty capture. *)
+val replay : ?loop:bool -> ?name:string -> t -> Source.t
+(** A {!Source.t} cycling through the capture ([loop] defaults true; when
+    false, fills return [Exhausted] past the end — the typed replacement
+    for the [Failure] the closure API used to raise). Flow identity is a
+    hash of each packet's header bytes, with per-flow sequence numbers
+    assigned in capture order. Raises [Invalid_argument] on an empty
+    capture; call sites that still want a bare closure can use
+    {!Source.to_gen}. *)

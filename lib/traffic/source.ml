@@ -1,0 +1,47 @@
+type status = Filled | Exhausted
+
+type t = {
+  name : string;
+  fill_fn : t -> Ppp_net.Packet.t -> status;
+  mutable last_flow : int;
+  mutable last_seq : int;
+  mutable packets : int;
+}
+
+exception Exhausted_source of string
+
+let make ?(name = "source") ~fill () =
+  { name; fill_fn = fill; last_flow = 0; last_seq = 0; packets = 0 }
+
+let fill t pkt =
+  match t.fill_fn t pkt with
+  | Filled ->
+      t.packets <- t.packets + 1;
+      Filled
+  | Exhausted -> Exhausted
+
+let set_meta t ~flow ~seq =
+  t.last_flow <- flow;
+  t.last_seq <- seq
+
+let name t = t.name
+let last_flow t = t.last_flow
+let last_seq t = t.last_seq
+let packets t = t.packets
+
+let of_gen ?(name = "closure") gen =
+  make ~name
+    ~fill:(fun t pkt ->
+      gen pkt;
+      (* Anonymous traffic: one flow whose sequence is the packet count —
+         monotone by construction, so wrapped closures never look
+         reordered. *)
+      t.last_flow <- 0;
+      t.last_seq <- t.packets;
+      Filled)
+    ()
+
+let to_gen t pkt =
+  match fill t pkt with
+  | Filled -> ()
+  | Exhausted -> raise (Exhausted_source t.name)

@@ -1,0 +1,55 @@
+(** NIC steering models: RSS hashing vs Flow-Director perfect steering.
+
+    RSS computes core = hash(flow) mod cores — stateless, so packets of a
+    flow always land on the same queue and are never reordered.
+
+    Flow Director pins flows to cores through an on-NIC table and
+    rebalances by migrating flows; each migration strands the flow's
+    in-flight packet on the old core's queue, where the first packet
+    steered to the new core overtakes it ("Why Does Flow Director Cause
+    Packet Reordering?", PAPERS.md). The model reproduces exactly one
+    sequence inversion per migration, counted at the moment the stranded
+    packet drains — so a downstream {!Reorder} detector observes precisely
+    {!migrations} inversions under Flow Director and zero under RSS (the
+    qcheck property). Packet bytes are never modified; reordering is
+    visible only through sequence metadata. *)
+
+type model = Rss | Flow_director
+
+val model_name : model -> string
+(** ["rss"] / ["fdir"]. *)
+
+val model_of_name : string -> model option
+
+type t
+
+val create : ?migrate_every:int -> cores:int -> model -> t
+(** [migrate_every] (default 0 = never) triggers a Flow-Director migration
+    of the flow being delivered every that-many deliveries; ignored under
+    RSS and when [cores = 1]. *)
+
+val model : t -> model
+val cores : t -> int
+
+val delivered : t -> int
+(** Packets routed so far. *)
+
+val migrations : t -> int
+(** Completed Flow-Director migrations (stranded packet drained). Equals
+    the reorder count an observer sees. Always 0 under RSS. *)
+
+val last_core : t -> int
+(** Receive core of the most recently routed packet. *)
+
+val core_of : t -> flow:int -> int
+(** Current core of [flow] without routing a packet. *)
+
+val route : t -> flow:int -> seq:int -> int * int
+(** [route t ~flow ~seq] delivers one packet: returns
+    [(receive core, observed sequence number)]. Under RSS the sequence
+    passes through; under Flow Director a migrating flow's stranded packet
+    is swapped behind its successor. *)
+
+val source : t -> Source.t -> Source.t
+(** Wraps a source so its flow/sequence metadata passes through the
+    steering model (packet bytes untouched). *)

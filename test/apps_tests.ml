@@ -471,9 +471,12 @@ let test_app_builds_all_kinds () =
         (App.name kind ^ " has elements")
         true
         (List.length b.App.elements > 0);
-      (* The generator produces valid packets. *)
+      (* The source produces valid packets. *)
       let p = Ppp_net.Packet.create 60 in
-      b.App.gen p;
+      (match Ppp_traffic.Source.fill b.App.source p with
+      | Ppp_traffic.Source.Filled -> ()
+      | Ppp_traffic.Source.Exhausted ->
+          Alcotest.fail (App.name kind ^ ": source exhausted"));
       Alcotest.(check int)
         (App.name kind ^ " wire length")
         (App.wire_len kind) p.Ppp_net.Packet.len)

@@ -61,7 +61,7 @@ let simple_gen pkt =
 let test_flow_produces_packet_traces () =
   let hits = ref 0 in
   let flow =
-    Flow.create ~heap:(heap ()) ~rng:(rng ()) ~label:"t" ~gen:simple_gen
+    Flow.create_gen ~heap:(heap ()) ~rng:(rng ()) ~label:"t" ~gen:simple_gen
       ~elements:[ counting_element "c" hits ] ()
   in
   let source = Flow.source flow in
@@ -78,7 +78,7 @@ let test_flow_produces_packet_traces () =
 
 let test_flow_counts_drops () =
   let flow =
-    Flow.create ~heap:(heap ()) ~rng:(rng ()) ~label:"t" ~gen:simple_gen
+    Flow.create_gen ~heap:(heap ()) ~rng:(rng ()) ~label:"t" ~gen:simple_gen
       ~elements:[ dropping_element () ] ()
   in
   let source = Flow.source flow in
@@ -89,7 +89,7 @@ let test_flow_counts_drops () =
 
 let test_flow_buffer_rotation () =
   let flow =
-    Flow.create ~heap:(heap ()) ~rng:(rng ()) ~label:"t" ~gen:simple_gen
+    Flow.create_gen ~heap:(heap ()) ~rng:(rng ()) ~label:"t" ~gen:simple_gen
       ~elements:[] ~rx_slots:4 ()
   in
   let source = Flow.source flow in

@@ -8,15 +8,10 @@ open Ppp_core
 open Ppp_experiments
 
 let params ?(batch = 32) ~seed () =
-  {
-    Runner.config = Ppp_hw.Machine.tiny;
-    seed;
-    warmup_cycles = 100_000;
-    measure_cycles = 300_000;
-    batch;
-    cell = "";
-    classifier = "all";
-  }
+  Runner.Params.(
+    quick |> with_seed seed
+    |> with_windows ~warmup:100_000 ~measure:300_000
+    |> with_batch batch)
 
 let with_jobs n f =
   let prev = Parallel.configured_jobs () in
@@ -109,6 +104,17 @@ let test_parallel_map_exception () =
   Alcotest.(check bool)
     "parallel raises the same failure" true (attempt 4 = Some boom)
 
+(* The traffic experiment adds stateful sources (heavy-tail realizations,
+   ON/OFF modulators, churn) and steering state to every cell; all of it
+   must be derived from the cell label for the jobs/batch knobs to stay
+   pure. *)
+let test_traffic_jobs_batch_golden_equality () =
+  let baseline = render "traffic" ~seed:42 ~jobs:1 ~batch:1 in
+  let tuned = render "traffic" ~seed:42 ~jobs:4 ~batch:32 in
+  Alcotest.(check string)
+    "traffic: --jobs 4 --batch 32 byte-identical to --jobs 1 --batch 1"
+    baseline tuned
+
 let tests =
   [
     Alcotest.test_case "rng seed derivation" `Quick test_rng_derivation;
@@ -126,4 +132,8 @@ let tests =
       test_jobs_batch_golden_equality;
     Alcotest.test_case "classifier golden equality across jobs x batch" `Slow
       test_classifier_jobs_batch_golden_equality;
+    Alcotest.test_case "traffic deterministic across jobs" `Slow
+      (check_experiment "traffic");
+    Alcotest.test_case "traffic golden equality across jobs x batch" `Slow
+      test_traffic_jobs_batch_golden_equality;
   ]

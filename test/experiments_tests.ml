@@ -6,15 +6,8 @@ open Ppp_core
 open Ppp_experiments
 
 let fast =
-  {
-    Runner.config = Ppp_hw.Machine.scaled;
-    seed = 42;
-    warmup_cycles = 400_000;
-    measure_cycles = 1_200_000;
-    batch = 32;
-    cell = "";
-    classifier = "all";
-  }
+  Runner.Params.(
+    default |> with_windows ~warmup:400_000 ~measure:1_200_000)
 
 let fast_levels =
   [ { Ppp_apps.App.reads = 8; instrs = 4000 }; { reads = 128; instrs = 0 } ]
@@ -157,18 +150,16 @@ let test_classifier_structure () =
           (c.Classifier_exp.hit_rate >= uniform.Classifier_exp.hit_rate))
     cells;
   (* Backend selection: single-backend params halve the sweep; unknown
-     backend names are rejected up front. *)
-  let tss_only = { fast with Runner.classifier = "tss" } in
+     backend names never reach the experiment — parsing rejects them. *)
+  let tss_only = Runner.Params.with_classifier Runner.Tss fast in
   Alcotest.(check int) "tss-only selects one backend" 1
     (List.length (Classifier_exp.backends ~params:tss_only));
-  Alcotest.check_raises "unknown backend rejected"
-    (Invalid_argument
-       "classifier experiment: unknown backend \"bogus\" (tss|range|all)")
-    (fun () ->
-      ignore
-        (Classifier_exp.backends
-           ~params:{ fast with Runner.classifier = "bogus" }
-          : Ppp_classify.Classifier.kind list))
+  Alcotest.(check bool) "unknown backend name rejected at parse" true
+    (Runner.classifier_of_name "bogus" = None);
+  Alcotest.(check bool) "known names parse" true
+    (Runner.classifier_of_name "tss" = Some Runner.Tss
+    && Runner.classifier_of_name "range" = Some Runner.Range
+    && Runner.classifier_of_name "all" = Some Runner.All_backends)
 
 let test_fig4_monotone_cache_curves () =
   let data =

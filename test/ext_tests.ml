@@ -313,14 +313,16 @@ let test_pcap_replay_cycles () =
   let cap = Ppp_traffic.Pcap.create () in
   Ppp_traffic.Pcap.append cap (mk_pkt 64 1);
   Ppp_traffic.Pcap.append cap (mk_pkt 96 2);
-  let gen = Ppp_traffic.Pcap.replay cap in
+  let src = Ppp_traffic.Pcap.replay cap in
+  let gen = Ppp_traffic.Source.to_gen src in
   let p = Ppp_net.Packet.create ~cap:2048 60 in
   gen p;
   Alcotest.(check int) "first" 64 p.Ppp_net.Packet.len;
   gen p;
   Alcotest.(check int) "second" 96 p.Ppp_net.Packet.len;
   gen p;
-  Alcotest.(check int) "loops" 64 p.Ppp_net.Packet.len
+  Alcotest.(check int) "loops" 64 p.Ppp_net.Packet.len;
+  Alcotest.(check int) "packets counted" 3 (Ppp_traffic.Source.packets src)
 
 (* --- Multiplex --- *)
 
@@ -687,17 +689,25 @@ let test_histogram_clear () =
 let test_pcap_empty_replay_rejected () =
   let cap = Ppp_traffic.Pcap.create () in
   Alcotest.check_raises "empty" (Invalid_argument "Pcap.replay: empty capture")
-    (fun () ->
-      ignore (Ppp_traffic.Pcap.replay cap : Ppp_net.Packet.t -> unit))
+    (fun () -> ignore (Ppp_traffic.Pcap.replay cap : Ppp_traffic.Source.t))
 
 let test_pcap_no_loop_exhausts () =
   let cap = Ppp_traffic.Pcap.create () in
   Ppp_traffic.Pcap.append cap (mk_pkt 64 1);
-  let gen = Ppp_traffic.Pcap.replay ~loop:false cap in
+  let src = Ppp_traffic.Pcap.replay ~loop:false cap in
   let p = Ppp_net.Packet.create ~cap:2048 60 in
-  gen p;
-  Alcotest.check_raises "exhausted" (Failure "Pcap.replay: capture exhausted")
-    (fun () -> gen p)
+  Alcotest.(check bool) "first fill ok" true
+    (Ppp_traffic.Source.fill src p = Ppp_traffic.Source.Filled);
+  (* Typed end-of-capture instead of an exception, and it stays exhausted. *)
+  Alcotest.(check bool) "second fill exhausted" true
+    (Ppp_traffic.Source.fill src p = Ppp_traffic.Source.Exhausted);
+  Alcotest.(check bool) "sticky" true
+    (Ppp_traffic.Source.fill src p = Ppp_traffic.Source.Exhausted);
+  (* The closure compatibility wrapper converts the typed status back into
+     an exception for legacy call sites. *)
+  Alcotest.check_raises "to_gen raises"
+    (Ppp_traffic.Source.Exhausted_source "pcap") (fun () ->
+      Ppp_traffic.Source.to_gen src p)
 
 let test_series_map_y () =
   let s = Ppp_util.Series.of_points [ (0.0, 1.0); (2.0, 3.0) ] in

@@ -3,16 +3,7 @@
    The dune rules in this directory diff the output against the committed
    <id>.expected snapshots; `dune promote` updates them. *)
 
-let golden_params =
-  {
-    Ppp_core.Runner.config = Ppp_hw.Machine.tiny;
-    seed = 42;
-    warmup_cycles = 300_000;
-    measure_cycles = 1_000_000;
-    batch = 32;
-    cell = "";
-    classifier = "all";
-  }
+let golden_params = Ppp_core.Runner.Params.quick
 
 (* Slice length for the telemetry snapshots: 4 slices over the 1 M-cycle
    measurement window. *)

@@ -8,15 +8,8 @@ module Estimator = Ppp_monitor.Estimator
 module Report = Ppp_monitor.Report
 
 let quick =
-  {
-    Ppp_core.Runner.config = Ppp_hw.Machine.tiny;
-    seed = 42;
-    warmup_cycles = 100_000;
-    measure_cycles = 300_000;
-    batch = 32;
-    cell = "";
-    classifier = "all";
-  }
+  Ppp_core.Runner.Params.(
+    quick |> with_windows ~warmup:100_000 ~measure:300_000)
 
 (* --- synthetic sample streams (no engine) --- *)
 

@@ -21,7 +21,7 @@ let test_required_keys () =
     [
       "schema"; "tool"; "config"; "seed"; "quick"; "warmup_cycles";
       "measure_cycles"; "batch"; "workloads"; "hit_path"; "flow_table";
-      "trajectory";
+      "source_fill"; "trajectory";
     ]
     G.required_keys;
   let keys = top_keys (G.to_json (Lazy.force report)) in
@@ -58,6 +58,13 @@ let test_flow_table_loop () =
   Alcotest.(check bool) "fast-path lookup loop is allocation-free" true
     ft.G.ft_zero_alloc
 
+let test_source_fill_loop () =
+  let sf = (Lazy.force report).G.source_fill in
+  Alcotest.(check bool) "fills counted" true (sf.G.fills > 0);
+  Alcotest.(check bool) "positive rate" true (sf.G.fills_per_sec > 0.0);
+  Alcotest.(check bool) "Source.fill hot path is allocation-free" true
+    sf.G.sf_zero_alloc
+
 let test_trajectory () =
   (* The history is append-only: the pre-optimization baseline must always
      be point zero, so regenerating BENCH_engine.json never loses it. *)
@@ -81,6 +88,7 @@ let tests =
     Alcotest.test_case "report has required keys" `Quick test_required_keys;
     Alcotest.test_case "workload measurements sane" `Quick test_workloads;
     Alcotest.test_case "flow-table lookup loop" `Quick test_flow_table_loop;
+    Alcotest.test_case "source-fill loop" `Quick test_source_fill_loop;
     Alcotest.test_case "trajectory keeps baseline" `Quick test_trajectory;
     Alcotest.test_case "serialization deterministic" `Quick
       test_json_parses_back;

@@ -13,15 +13,8 @@ let with_recorder ~sample_cycles f =
   Fun.protect ~finally:Recorder.reset f
 
 let quick =
-  {
-    Ppp_core.Runner.config = Ppp_hw.Machine.tiny;
-    seed = 42;
-    warmup_cycles = 100_000;
-    measure_cycles = 300_000;
-    batch = 32;
-    cell = "";
-    classifier = "all";
-  }
+  Ppp_core.Runner.Params.(
+    quick |> with_windows ~warmup:100_000 ~measure:300_000)
 
 (* --- Json --- *)
 
@@ -229,7 +222,7 @@ let test_manifest_shape () =
             (Printf.sprintf "manifest mentions %s" needle)
             true (minified_contains s needle))
         [
-          "ppp-telemetry/3"; "\"schema_version\":3"; "\"tool\":\"test\"";
+          "ppp-telemetry/4"; "\"schema_version\":4"; "\"tool\":\"test\"";
           "\"fig2\""; "wall_clock";
         ])
 
@@ -302,6 +295,41 @@ let test_manifest_classifier_shape () =
         (minified_contains s
            {|{"cell":"classifier/tss/128/0.0","backend":"tss","rules":128,|}))
 
+let test_manifest_traffic_shape () =
+  (* Schema 4's traffic section follows the same contract: always present,
+     empty-but-valid without data, per-cell counters with some. *)
+  with_recorder ~sample_cycles:100_000 (fun () ->
+      let manifest traffic =
+        Json.to_string ~minify:true
+          (Manifest.json ~traffic ~run:manifest_run ~experiments:[] ~series:[]
+             ~spans:[] ())
+      in
+      let empty = manifest [] in
+      Alcotest.(check bool) "empty traffic section is the valid shape" true
+        (minified_contains empty
+           {|"traffic":{"cells":0,"packets":0,"reorders":0,"migrations":0,"evictions":0,"false_alerts":0,"by_cell":[]}|});
+      let entry =
+        {
+          Recorder.tr_cell = "traffic/heavy/1.1/fdir";
+          tr_model = "heavy";
+          tr_steering = "fdir";
+          tr_packets = 5000;
+          tr_reorders = 17;
+          tr_migrations = 17;
+          tr_evictions = 42;
+          tr_false_alerts = 1;
+          tr_predicted_drop = 0.25;
+          tr_measured_drop = 0.31;
+        }
+      in
+      let s = manifest [ entry ] in
+      Alcotest.(check bool) "totals summed over cells" true
+        (minified_contains s
+           {|"cells":1,"packets":5000,"reorders":17,"migrations":17,"evictions":42,"false_alerts":1|});
+      Alcotest.(check bool) "per-cell entry carries model and steering" true
+        (minified_contains s
+           {|{"cell":"traffic/heavy/1.1/fdir","model":"heavy","steering":"fdir",|}))
+
 let test_trace_shape () =
   with_recorder ~sample_cycles:100_000 (fun () ->
       Recorder.set_experiment "fig2";
@@ -362,6 +390,8 @@ let tests =
       test_manifest_alerts_shape;
     Alcotest.test_case "manifest classifier section" `Quick
       test_manifest_classifier_shape;
+    Alcotest.test_case "manifest traffic section" `Quick
+      test_manifest_traffic_shape;
     Alcotest.test_case "deterministic trace shape" `Quick test_trace_shape;
     Alcotest.test_case "recorder validation and defaults" `Quick
       test_recorder_validation;

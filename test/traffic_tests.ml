@@ -68,6 +68,152 @@ let prop_zipf_in_range =
       let v = Zipf.sample z rng in
       v >= 0 && v < n)
 
+(* ---- Traffic.Source layer properties -------------------------------- *)
+
+(* Seeds are derived from the sampled parameters, so each property is a
+   deterministic function of the qcheck draw: failures replay exactly.
+   Parameters are clamped into their domain inside the property because
+   qcheck's int_range shrinker can step outside the range while
+   minimizing a counterexample. *)
+let seed_of a b = 0x9E37 + (a * 7919) + b
+let clamp lo hi v = lo + (abs v mod (hi - lo + 1))
+
+let prop_heavy_tail_top_mass =
+  (* A single realization's top-k mass swings wildly (one elephant drawn
+     near the cap moves the total), so compare the mean over 8 seeds and
+     cap sizes at 1000 packets. Empirically the worst mean-deviation over
+     the full (flows, alpha) grid is ~0.073 — about 0.04 of it systematic
+     (the quantile integration underestimates expected order-statistic
+     mass) — so 0.15 is a sound bound with 2x margin. *)
+  QCheck.Test.make ~count:60 ~name:"heavy_tail: top-k mass matches analytic"
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let flows = clamp 512 4096 a in
+      let alpha = float_of_int (clamp 105 195 b) /. 100.0 in
+      let k = max 1 (flows / 20) in
+      let reps = 8 in
+      let acc = ref 0.0 in
+      for r = 0 to reps - 1 do
+        let ht =
+          Heavy_tail.create
+            ~seed:(seed_of flows b + (r * 7919))
+            ~flows ~alpha ~max_pkts:1000 ()
+        in
+        acc := !acc +. Heavy_tail.top_mass ht ~k
+      done;
+      let mean = !acc /. float_of_int reps in
+      let analytic =
+        Heavy_tail.analytic_top_mass ~flows ~alpha ~max_pkts:1000 ~k ()
+      in
+      Float.abs (mean -. analytic) < 0.15)
+
+let prop_heavy_tail_determinism =
+  QCheck.Test.make ~count:50 ~name:"heavy_tail: same seed, same realization"
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let flows = clamp 16 2048 a in
+      let alpha100 = clamp 105 195 b in
+      let alpha = float_of_int alpha100 /. 100.0 in
+      let seed = seed_of flows alpha100 in
+      let a = Heavy_tail.create ~seed ~flows ~alpha () in
+      let b = Heavy_tail.create ~seed ~flows ~alpha () in
+      let sizes_equal = ref (Heavy_tail.total_pkts a = Heavy_tail.total_pkts b) in
+      for i = 0 to flows - 1 do
+        if Heavy_tail.size a i <> Heavy_tail.size b i then sizes_equal := false
+      done;
+      let ra = Ppp_util.Rng.create ~seed:(seed + 1)
+      and rb = Ppp_util.Rng.create ~seed:(seed + 1) in
+      let stream_equal = ref true in
+      for _ = 1 to 256 do
+        if Heavy_tail.sample a ra <> Heavy_tail.sample b rb then
+          stream_equal := false
+      done;
+      !sizes_equal && !stream_equal)
+
+let prop_onoff_duty_cycle =
+  QCheck.Test.make ~count:40 ~name:"onoff: duty cycle converges to on/(on+off)"
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let mean_on = clamp 4 192 a and mean_off = clamp 4 192 b in
+      let oo = Onoff.create ~mean_on ~mean_off ~burst_flows:4 ~flow_base:1_000_000 () in
+      let rng = Ppp_util.Rng.create ~seed:(seed_of mean_on mean_off) in
+      let base = Source.of_gen ~name:"null" (fun _ -> ()) in
+      let src = Onoff.source oo ~rng ~base () in
+      let p = Ppp_net.Packet.create 128 in
+      (* Enough packets for ~500 ON/OFF cycles regardless of the means. *)
+      let n = 500 * (mean_on + mean_off) in
+      for _ = 1 to n do
+        ignore (Source.fill src p)
+      done;
+      let expected =
+        float_of_int mean_on /. float_of_int (mean_on + mean_off)
+      in
+      Float.abs (Onoff.duty_cycle oo -. expected) < 0.05)
+
+let prop_rss_never_reorders =
+  QCheck.Test.make ~count:40 ~name:"steering: RSS never reorders within a flow"
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let cores = clamp 1 8 a and flows = clamp 64 2048 b in
+      let seed = seed_of cores flows in
+      let ht = Heavy_tail.create ~seed ~flows ~alpha:1.3 () in
+      let rng = Ppp_util.Rng.create ~seed:(seed + 1) in
+      let st = Steering.create ~migrate_every:64 ~cores Steering.Rss in
+      let src = Steering.source st (Heavy_tail.source ht ~rng ()) in
+      let det = Reorder.create () in
+      let p = Ppp_net.Packet.create 128 in
+      for _ = 1 to 20_000 do
+        ignore (Source.fill src p);
+        Reorder.observe det ~flow:(Source.last_flow src)
+          ~seq:(Source.last_seq src)
+      done;
+      Reorder.reorders det = 0)
+
+let prop_fdir_reorders_eq_migrations =
+  QCheck.Test.make ~count:40
+    ~name:"steering: flow-director reorders == migrations"
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let cores = clamp 2 8 a and migrate_every = clamp 16 512 b in
+      let seed = seed_of cores migrate_every in
+      let ht = Heavy_tail.create ~seed ~flows:1024 ~alpha:1.3 () in
+      let rng = Ppp_util.Rng.create ~seed:(seed + 1) in
+      let st = Steering.create ~migrate_every ~cores Steering.Flow_director in
+      let src = Steering.source st (Heavy_tail.source ht ~rng ()) in
+      let det = Reorder.create () in
+      let p = Ppp_net.Packet.create 128 in
+      for _ = 1 to 30_000 do
+        ignore (Source.fill src p);
+        Reorder.observe det ~flow:(Source.last_flow src)
+          ~seq:(Source.last_seq src)
+      done;
+      Steering.migrations st > 0
+      && Reorder.reorders det = Steering.migrations st)
+
+let test_reorder_slots_validation () =
+  Alcotest.check_raises "non-power-of-two rejected"
+    (Invalid_argument "Reorder.create: slots must be a positive power of two")
+    (fun () -> ignore (Reorder.create ~slots:100 ()));
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Reorder.create: slots must be a positive power of two")
+    (fun () -> ignore (Reorder.create ~slots:0 ()))
+
+let test_reorder_eviction_never_false_positive () =
+  (* Flows 0 and 8 alias in an 8-slot cache: every observation evicts the
+     other flow's state. In-order arrivals must still report zero reorders
+     — eviction may only under-count. *)
+  let det = Reorder.create ~slots:8 () in
+  for seq = 0 to 999 do
+    Reorder.observe det ~flow:0 ~seq;
+    Reorder.observe det ~flow:8 ~seq
+  done;
+  Alcotest.(check int) "no false positives under aliasing" 0
+    (Reorder.reorders det);
+  Alcotest.(check int) "observed all" 2000 (Reorder.observed det);
+  (* A genuine inversion on a resident flow is still caught. *)
+  Reorder.observe det ~flow:8 ~seq:0;
+  Alcotest.(check int) "real inversion detected" 1 (Reorder.reorders det)
+
 let tests =
   [
     Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
@@ -78,4 +224,13 @@ let tests =
     Alcotest.test_case "gen rejects short" `Quick test_gen_rejects_short;
     Alcotest.test_case "seeded payload deterministic" `Quick test_seeded_payload_deterministic;
     QCheck_alcotest.to_alcotest prop_zipf_in_range;
+    Alcotest.test_case "reorder slots validation" `Quick
+      test_reorder_slots_validation;
+    Alcotest.test_case "reorder eviction never false-positive" `Quick
+      test_reorder_eviction_never_false_positive;
+    QCheck_alcotest.to_alcotest prop_heavy_tail_top_mass;
+    QCheck_alcotest.to_alcotest prop_heavy_tail_determinism;
+    QCheck_alcotest.to_alcotest prop_onoff_duty_cycle;
+    QCheck_alcotest.to_alcotest prop_rss_never_reorders;
+    QCheck_alcotest.to_alcotest prop_fdir_reorders_eq_migrations;
   ]
