@@ -51,6 +51,15 @@ let metrics_dir =
       "Sample per-core counters during Part 1 and export series.csv / \
        spans.csv / manifest.json into DIR."
 
+let profile_flag =
+  Cli.flag cli [ "--profile" ]
+    ~doc:
+      "Attribute cycles / instructions / L3 events to (core, element) \
+       during Part 1. Pure observation — tables are byte-identical either \
+       way. With --metrics-dir, the manifest gains a populated profile \
+       section and the folded flamegraph stacks + top.txt are written \
+       alongside it."
+
 let classifier =
   Cli.string cli [ "--classifier" ] ~docv:"BACKEND"
     ~doc:
@@ -119,6 +128,7 @@ let params =
   let p =
     Ppp_core.Runner.Params.(
       default |> with_batch batch
+      |> with_profile !profile_flag
       |> with_classifier
            (Option.get (Ppp_core.Runner.classifier_of_name !classifier))
       |> with_traffic (Option.get (Ppp_core.Runner.traffic_of_name !traffic))
@@ -179,7 +189,15 @@ let reproduce () =
             sample_cycles = Ppp_telemetry.Recorder.sampling ();
           };
       Printf.eprintf "wrote series.csv, spans.csv, manifest.json to %s/\n%!"
-        dir
+        dir;
+      if !profile_flag then begin
+        Ppp_telemetry.Export.write_profile_dir ~dir;
+        Printf.eprintf
+          "wrote profile_cycles.folded, profile_l3_misses.folded, top.txt \
+           to %s/\n\
+           %!"
+          dir
+      end
   | None -> ()
 
 (* --- Part 2: microbenchmarks of the paths each experiment exercises --- *)
@@ -270,7 +288,9 @@ let bench_engine_packet =
     (Staged.stage (fun () ->
          now := !now + 1000;
          match source !now with
-         | Ppp_hw.Engine.Packet t | Ppp_hw.Engine.Idle t ->
+         | Ppp_hw.Engine.Packet t
+         | Ppp_hw.Engine.Idle t
+         | Ppp_hw.Engine.Reordered t ->
              for i = 0 to Ppp_hw.Trace.length t - 1 do
                match Ppp_hw.Trace.kind t i with
                | Ppp_hw.Trace.Read | Ppp_hw.Trace.Write ->

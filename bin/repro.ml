@@ -57,6 +57,15 @@ let params_args cli =
          Other experiments ignore it."
       "all"
   in
+  let profile =
+    Cli.flag cli [ "--profile" ]
+      ~doc:
+        "Attribute cycles, instructions, L3 hits/misses and per-packet \
+         latency to (core, element) during every run. Pure observation — \
+         simulation results are byte-identical with or without it. Exports \
+         go to --profile-out (default \"profile\"), and the manifest's \
+         profile section when --metrics is given."
+  in
   fun () ->
     (match Ppp_hw.Machine.by_name !config with
     | None -> Cli.die cli (Printf.sprintf "unknown config %S" !config)
@@ -95,13 +104,15 @@ let params_args cli =
           default |> with_config c |> with_seed !seed
           |> with_windows ~warmup:(!warmup / div) ~measure:(!measure / div)
           |> with_batch !batch |> with_classifier classifier
-          |> with_traffic traffic |> with_steering steering))
+          |> with_traffic traffic |> with_steering steering
+          |> with_profile !profile))
 
 (* --- shared flags: telemetry (--trace / --metrics / --sample-cycles) --- *)
 
 type telemetry_opts = {
   trace : string option;
   metrics : string option;
+  profile_out : string option;
   sample_cycles : int;  (* 0 = derive from the measurement window *)
   verbose : bool;
 }
@@ -122,6 +133,14 @@ let telemetry_args cli =
          spans) and manifest.json (run provenance + per-experiment \
          wall-clock)."
   in
+  let profile_out =
+    Cli.opt_string cli [ "--profile-out" ] ~docv:"DIR"
+      ~doc:
+        "Where --profile writes its flamegraph-ready exports: \
+         profile_cycles.folded and profile_l3_misses.folded (folded stacks \
+         for flamegraph.pl / inferno / speedscope) plus top.txt (the \
+         hot-spot report). Default \"profile\"."
+  in
   let sample_cycles =
     Cli.int cli [ "--sample-cycles" ] ~docv:"K"
       ~doc:
@@ -140,6 +159,7 @@ let telemetry_args cli =
     {
       trace = !trace;
       metrics = !metrics;
+      profile_out = !profile_out;
       sample_cycles = !sample_cycles;
       verbose = !verbose;
     }
@@ -175,7 +195,7 @@ let finish_telemetry_exn params t =
       Printf.eprintf "wrote Chrome trace to %s (open in ui.perfetto.dev)\n%!"
         path
   | None -> ());
-  match t.metrics with
+  (match t.metrics with
   | Some dir ->
       let run =
         {
@@ -191,6 +211,20 @@ let finish_telemetry_exn params t =
       in
       Ppp_telemetry.Export.write_metrics_dir ~dir ~run;
       Printf.eprintf "wrote series.csv, spans.csv, manifest.json to %s/\n%!"
+        dir
+  | None -> ());
+  match
+    match t.profile_out with
+    | Some dir -> Some dir
+    | None ->
+        if params.Ppp_core.Runner.profile then Some "profile" else None
+  with
+  | Some dir ->
+      Ppp_telemetry.Export.write_profile_dir ~dir;
+      Printf.eprintf
+        "wrote profile_cycles.folded, profile_l3_misses.folded, top.txt to \
+         %s/\n\
+         %!"
         dir
   | None -> ()
 
@@ -317,6 +351,42 @@ let run_all_main ~all () =
   else
     List.iter (print_text params ~verbose:telemetry.verbose) experiments;
   finish_telemetry params telemetry
+
+(* --- top --- *)
+
+let top_main () =
+  let cli =
+    Cli.create ~prog:"repro top [options] EXPERIMENT..."
+      ~summary:
+        "Run experiments with per-element attribution on and print the \
+         top-style hot-spot report: the hottest elements by window cycles \
+         and by L3 misses, with window share, miss rate and latency tails."
+  in
+  let params = params_args cli in
+  let k =
+    Cli.int cli [ "--top"; "-k" ] ~docv:"N" ~doc:"Rows per report section." 10
+  in
+  let ids =
+    match Cli.parse cli ~start:2 Sys.argv with
+    | [] -> Cli.die cli "expected at least one experiment id"
+    | ids -> ids
+  in
+  let params = params () in
+  if !k < 1 then Cli.die cli "--top must be >= 1";
+  let params = Ppp_core.Runner.Params.with_profile true params in
+  let experiments = List.map find_experiment ids in
+  List.iter
+    (fun (e : Ppp_experiments.Registry.t) ->
+      (* One report per experiment: the profile accumulates per cell, so
+         drop the previous experiment's entries before running the next. *)
+      Ppp_telemetry.Recorder.clear_data ();
+      let (_ : Ppp_experiments.Output.t) =
+        run_experiment ~verbose:false params e
+      in
+      print_string
+        (Ppp_telemetry.Profile.top ~k:!k ~title:e.Ppp_experiments.Registry.id
+           (Ppp_telemetry.Recorder.profile ())))
+    experiments
 
 (* --- mix / predict / capture --- *)
 
@@ -654,6 +724,7 @@ let toplevel_usage =
   \  run      Run one or more experiments by id.\n\
   \  all      Run every experiment (the full reproduction).\n\
   \  mix      Co-run an ad-hoc set of flows (one per core).\n\
+  \  top      Profile experiments and print the per-element hot-spot report.\n\
   \  monitor  Co-run flows under the online contention monitor.\n\
   \  predict  Predict contention-induced drop from offline profiles.\n\
   \  capture  Write a flow type's generated traffic to a pcap file.\n\
@@ -665,6 +736,7 @@ let () =
   | "run" -> run_all_main ~all:false ()
   | "all" -> run_all_main ~all:true ()
   | "mix" -> mix_main ()
+  | "top" -> top_main ()
   | "monitor" -> monitor_main ()
   | "predict" -> predict_main ()
   | "capture" -> capture_main ()

@@ -4,6 +4,12 @@ let fn_from_device = Ppp_hw.Fn.register "from_device"
 let fn_to_device = Ppp_hw.Fn.register "to_device"
 let fn_skb_recycle = Ppp_hw.Fn.register "skb_recycle"
 
+(* Driver stages get element ids too, so a profile covers the whole packet
+   path — not just the element chain. *)
+let eid_from_device = Ppp_hw.Eid.register "from_device"
+let eid_to_device = Ppp_hw.Eid.register "to_device"
+let eid_skb_recycle = Ppp_hw.Eid.register "skb_recycle"
+
 type t = {
   label : string;
   src : Ppp_traffic.Source.t;
@@ -27,6 +33,10 @@ type t = {
   item_idle : Ppp_hw.Engine.item;
       (* [Idle] over the same pooled view, for an exhausted source: the
          flow polls an empty input queue instead of processing a packet. *)
+  item_reordered : Ppp_hw.Engine.item;
+      (* [Reordered] over the same pooled view, returned when the detector
+         flags the arrival as a sequence inversion: the engine routes its
+         latency into the reordered histogram column. *)
 }
 
 let create ~heap ~rng ~label ~source ~elements ?(rx_slots = 64)
@@ -52,6 +62,8 @@ let create ~heap ~rng ~label ~source ~elements ?(rx_slots = 64)
     dropped = 0;
     item = Ppp_hw.Engine.Packet (Ppp_hw.Trace.Builder.view ctx.Ctx.builder);
     item_idle = Ppp_hw.Engine.Idle (Ppp_hw.Trace.Builder.view ctx.Ctx.builder);
+    item_reordered =
+      Ppp_hw.Engine.Reordered (Ppp_hw.Trace.Builder.view ctx.Ctx.builder);
   }
 
 let create_gen ~heap ~rng ~label ~gen ~elements ?rx_slots ?buf_stride () =
@@ -72,6 +84,7 @@ let header_bytes = 54 (* Ethernet + IPv4 + transport ports *)
 let receive t =
   let open Ppp_hw.Trace in
   let b = t.ctx.Ctx.builder in
+  Ctx.set_elem t.ctx eid_from_device;
   let slot = t.seq mod t.rx_slots in
   t.seq <- t.seq + 1;
   t.pkt.Ppp_net.Packet.buf_addr <- t.buf_base + (slot * t.buf_stride);
@@ -93,6 +106,7 @@ let receive t =
   slot
 
 let transmit t slot =
+  Ctx.set_elem t.ctx eid_to_device;
   Ppp_simmem.Iarray.set t.tx_desc t.ctx.Ctx.builder ~fn:fn_to_device slot
     t.seq;
   (* MAC rewrite on the first buffer line. *)
@@ -101,6 +115,7 @@ let transmit t slot =
 
 let recycle t slot =
   let b = t.ctx.Ctx.builder in
+  Ctx.set_elem t.ctx eid_skb_recycle;
   ignore (Ppp_simmem.Iarray.get t.free_list b ~fn:fn_skb_recycle slot : int);
   Ppp_simmem.Iarray.set t.free_list b ~fn:fn_skb_recycle slot slot;
   Ctx.compute t.ctx ~fn:fn_skb_recycle 15
@@ -114,13 +129,16 @@ let source t (_now : int) =
   match Ppp_traffic.Source.fill t.src t.pkt with
   | Ppp_traffic.Source.Exhausted ->
       (* Empty input queue: the flow polls and finds nothing. *)
+      Ctx.set_elem t.ctx eid_from_device;
       Ctx.compute t.ctx ~fn:fn_from_device 100;
       let (_ : Ppp_hw.Trace.t) = Ppp_hw.Trace.Builder.view b in
       t.item_idle
   | Ppp_traffic.Source.Filled ->
-      Ppp_traffic.Reorder.observe t.reorder
-        ~flow:(Ppp_traffic.Source.last_flow t.src)
-        ~seq:(Ppp_traffic.Source.last_seq t.src);
+      let reordered =
+        Ppp_traffic.Reorder.observe t.reorder
+          ~flow:(Ppp_traffic.Source.last_flow t.src)
+          ~seq:(Ppp_traffic.Source.last_seq t.src)
+      in
       let slot = receive t in
       (match Element.process_all t.elements t.ctx t.pkt with
       | Element.Forward ->
@@ -133,4 +151,4 @@ let source t (_now : int) =
          The view is the pooled record inside [t.item] — refreshing it and
          returning the prebuilt item keeps this path allocation-free. *)
       let (_ : Ppp_hw.Trace.t) = Ppp_hw.Trace.Builder.view b in
-      t.item
+      if reordered then t.item_reordered else t.item

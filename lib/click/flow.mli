@@ -65,3 +65,10 @@ val reorder_observed : t -> int
 val fn_from_device : Ppp_hw.Fn.t
 val fn_to_device : Ppp_hw.Fn.t
 val fn_skb_recycle : Ppp_hw.Fn.t
+
+val eid_from_device : Ppp_hw.Eid.t
+(** Element ids for the driver stages (shared by {!Staged} pipelines), so
+    profiles attribute RX/TX/recycle work alongside the element chain. *)
+
+val eid_to_device : Ppp_hw.Eid.t
+val eid_skb_recycle : Ppp_hw.Eid.t

@@ -75,6 +75,7 @@ let dropped t = t.dropped
 let queue_full q = Queue.length q.fifo >= q.slots
 
 let push_queue t q ctx pkt =
+  Ctx.set_elem ctx Flow.eid_to_device;
   let slot = q.pushed mod q.slots in
   q.pushed <- q.pushed + 1;
   Iarray.set q.ring ctx.Ctx.builder ~fn:Flow.fn_to_device slot
@@ -83,6 +84,7 @@ let push_queue t q ctx pkt =
   ignore t
 
 let pop_queue t q ctx =
+  Ctx.set_elem ctx Flow.eid_from_device;
   let slot = q.popped mod q.slots in
   q.popped <- q.popped + 1;
   let pkt = Queue.pop q.fifo in
@@ -96,6 +98,7 @@ let pop_queue t q ctx =
 let receive t ctx =
   let open Ppp_hw.Trace in
   let b = ctx.Ctx.builder in
+  Ctx.set_elem ctx Flow.eid_from_device;
   let slot = t.seq mod t.rx_slots in
   let pkt = t.pool.(slot) in
   t.seq <- t.seq + 1;
@@ -117,6 +120,7 @@ let receive t ctx =
   pkt
 
 let transmit t ctx pkt =
+  Ctx.set_elem ctx Flow.eid_to_device;
   let slot = (pkt.Ppp_net.Packet.buf_addr - t.buf_base) / t.buf_stride in
   Ctx.touch_packet ctx pkt ~fn:Flow.fn_to_device ~write:true ~pos:0 ~len:12;
   Ctx.compute ctx ~fn:Flow.fn_to_device 25;
@@ -124,6 +128,7 @@ let transmit t ctx pkt =
      lines written by the transmitting core (the paper's extra
      synchronization cost of pipelining). *)
   let b = ctx.Ctx.builder in
+  Ctx.set_elem ctx Flow.eid_skb_recycle;
   ignore (Iarray.get t.free_list b ~fn:Flow.fn_skb_recycle slot : int);
   Iarray.set t.free_list b ~fn:Flow.fn_skb_recycle slot slot;
   Ctx.compute ctx ~fn:Flow.fn_skb_recycle 15

@@ -7,7 +7,7 @@
     bench history. *)
 
 type measurement = {
-  name : string;  (** "solo" | "contended" | "probed" *)
+  name : string;  (** "solo" | "contended" | "probed" | "profiled" *)
   flows : int;
   runs : int;  (** repetitions; [wall_s] is the best of them *)
   wall_s : float;
@@ -63,6 +63,10 @@ type report = {
   measure_cycles : int;
   batch : int;  (** engine burst budget the workloads ran with *)
   workloads : measurement list;
+  profile_overhead : float;
+      (** fraction of contended throughput lost when the same workload runs
+          under the per-element profiler ("profiled" vs "contended" ops/s);
+          may dip slightly negative under wall-clock noise *)
   hit : hit_path;
   flow_table : flow_table;
   source_fill : source_fill;

@@ -61,6 +61,7 @@ type params = {
   classifier : classifier;
   traffic : traffic_model;
   steering : steering;
+  profile : bool;
 }
 
 let default_params =
@@ -74,6 +75,7 @@ let default_params =
     classifier = All_backends;
     traffic = All_models;
     steering = Both_steerings;
+    profile = false;
   }
 
 let quick_params =
@@ -87,6 +89,7 @@ let quick_params =
     classifier = All_backends;
     traffic = All_models;
     steering = Both_steerings;
+    profile = false;
   }
 
 module Params = struct
@@ -105,6 +108,7 @@ module Params = struct
   let with_classifier classifier p = { p with classifier }
   let with_traffic traffic p = { p with traffic }
   let with_steering steering p = { p with steering }
+  let with_profile profile p = { p with profile }
 end
 
 let run ?(params = default_params) ?probe ?wrap specs =
@@ -170,11 +174,33 @@ let run ?(params = default_params) ?probe ?wrap specs =
                 b.Ppp_hw.Engine.on_sample s);
           }
   in
+  (* Attribution accumulators exist only when the caller asked to profile;
+     the engine's unprofiled path is the hot one and stays untouched. *)
+  let attrib =
+    if params.profile then
+      Some (Ppp_hw.Attrib.create ~cores:(Ppp_hw.Topology.cores topo))
+    else None
+  in
   let results =
-    Ppp_hw.Engine.run ?probe ~batch:params.batch hier ~flows
+    Ppp_hw.Engine.run ?probe ?attrib ~batch:params.batch hier ~flows
       ~warmup_cycles:params.warmup_cycles
       ~measure_cycles:params.measure_cycles
   in
+  (match attrib with
+  | Some at ->
+      let label_of_core core =
+        match
+          List.find_opt
+            (fun (f : Ppp_hw.Engine.flow) -> f.Ppp_hw.Engine.core = core)
+            flows
+        with
+        | Some f -> f.Ppp_hw.Engine.label
+        | None -> "(idle)"
+      in
+      Ppp_telemetry.Profile.record at
+        ~cell:(if params.cell = "" then "run" else params.cell)
+        ~flow:(fun ~core -> label_of_core core)
+  | None -> ());
   (match sampler with
   | Some s ->
       Ppp_telemetry.Recorder.add_series

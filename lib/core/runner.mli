@@ -64,6 +64,11 @@ type params = {
   steering : steering;
       (** Steering-model selection for the [traffic] experiment; ignored by
           every other experiment. *)
+  profile : bool;
+      (** When true, the run attributes cycles / instructions / L3 events /
+          latency to (core, element) and records the per-element profile
+          into the {!Ppp_telemetry.Recorder} under [params.cell]. Pure
+          observation: results are byte-identical with it on or off. *)
 }
 
 val default_params : params
@@ -93,6 +98,7 @@ module Params : sig
   val with_classifier : classifier -> t -> t
   val with_traffic : traffic_model -> t -> t
   val with_steering : steering -> t -> t
+  val with_profile : bool -> t -> t
 end
 
 val run :

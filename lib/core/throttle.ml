@@ -24,7 +24,9 @@ let metered ~budget_per_sec ~freq_hz ~count inner =
     else begin
       let item = inner now in
       (match item with
-      | Ppp_hw.Engine.Packet trace | Ppp_hw.Engine.Idle trace ->
+      | Ppp_hw.Engine.Packet trace
+      | Ppp_hw.Engine.Idle trace
+      | Ppp_hw.Engine.Reordered trace ->
           consumed := !consumed +. count now trace);
       item
     end

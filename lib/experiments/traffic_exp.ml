@@ -31,6 +31,10 @@ type cell = {
   migrations : int;  (** Flow-Director flow migrations (co-run) *)
   evictions : int;  (** flow-table evictions (co-run) *)
   packets : int;  (** victim packets in the measured window (co-run) *)
+  lat_p99_inorder : int;  (** victim p99 latency, in-order packets *)
+  lat_p99_reordered : int;
+      (** victim p99 latency, reordered packets (0 when none arrived out
+          of order in the window — every RSS cell) *)
 }
 
 type data = {
@@ -303,6 +307,12 @@ let run_cell ~(params : Runner.params) ~curve
       migrations = Ppp_traffic.Steering.migrations st;
       evictions = Ppp_classify.Flow_table.evictions table;
       packets = corun_r.Ppp_hw.Engine.packets;
+      lat_p99_inorder =
+        Ppp_util.Histogram.percentile
+          corun_r.Ppp_hw.Engine.latency_inorder 99.0;
+      lat_p99_reordered =
+        Ppp_util.Histogram.percentile
+          corun_r.Ppp_hw.Engine.latency_reordered 99.0;
     }
   in
   Ppp_telemetry.Recorder.add_traffic
@@ -349,6 +359,7 @@ let render d =
       [
         "model"; "knob"; "steering"; "solo pps"; "drop (%)"; "pred (%)";
         "|err| (pp)"; "false alerts"; "reorders"; "migr"; "evict";
+        "p99 in-ord"; "p99 reord";
       ]
   in
   List.iter
@@ -366,6 +377,9 @@ let render d =
           string_of_int c.reorders;
           string_of_int c.migrations;
           string_of_int c.evictions;
+          string_of_int c.lat_p99_inorder;
+          (if c.lat_p99_reordered = 0 then "-"
+           else string_of_int c.lat_p99_reordered);
         ])
     d.cells;
   let by_steering s = List.filter (fun c -> c.steering = s) d.cells in
@@ -422,6 +436,8 @@ let data_json d =
             Col.int "migrations" (fun c -> c.migrations);
             Col.int "evictions" (fun c -> c.evictions);
             Col.int "packets" (fun c -> c.packets);
+            Col.int "lat_p99_inorder" (fun c -> c.lat_p99_inorder);
+            Col.int "lat_p99_reordered" (fun c -> c.lat_p99_reordered);
           ]
           d.cells );
     ]

@@ -26,6 +26,11 @@ type cell = {
   migrations : int;  (** Flow-Director flow migrations (co-run) *)
   evictions : int;  (** flow-table evictions (co-run) *)
   packets : int;  (** victim packets in the measured window (co-run) *)
+  lat_p99_inorder : int;
+      (** p99 per-packet latency (cycles) over in-order deliveries (co-run) *)
+  lat_p99_reordered : int;
+      (** p99 latency over reordered deliveries; 0 when none were reordered
+          — every RSS cell, where steering never migrates a flow *)
 }
 
 type data = {

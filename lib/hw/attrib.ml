@@ -1,0 +1,128 @@
+(* Per-(core, element) attribution accumulators for the profiling engine.
+
+   Layout: every counter is one flat int array indexed [core * stride +
+   elem] with [stride = Eid.max_ids], so the engine's profiled op path does
+   plain int stores into preallocated rows — no boxing, no hashing, no
+   allocation. Latency histograms are the one lazy piece: a (core, elem)
+   pair gets its histogram on the first in-window packet that touches it.
+
+   Window totals ([cycles]/[instructions]/[l3_hits]/[l3_misses]) are bumped
+   only for ops the engine executes inside the measurement window, with the
+   same boundary convention as the counter snapshots (the op crossing the
+   warmup boundary lands in the warm baseline and is excluded; the op
+   crossing the window end is included) — so per-element sums reproduce the
+   window's [Counters.diff] exactly.
+
+   Per-packet element time uses the [pkt_cycles] scratch row plus a touched
+   stack: scratch accumulates over the whole in-flight trace regardless of
+   window position (a packet's latency spans the boundary it completes
+   behind), and [finish_trace] either records each touched element's share
+   into its latency histogram (packets completing in-window) or just
+   resets the scratch (idle traces, out-of-window packets). Every traced op
+   costs at least one cycle, so [pkt_cycles > 0] doubles as the touched
+   marker. *)
+
+type t = {
+  cores : int;
+  stride : int;
+  cycles : int array;
+  instructions : int array;
+  l3_hits : int array;
+  l3_misses : int array;
+  lat : Ppp_util.Histogram.t option array;
+  pkt_cycles : int array; (* scratch: in-flight trace's cycles per elem *)
+  touched : int array; (* per-core stack of elems with nonzero scratch *)
+  ntouched : int array; (* per core: live entries in [touched] *)
+  window_start : int array; (* per core, filled in by the engine *)
+  window_cycles : int array;
+}
+
+let create ~cores =
+  if cores < 1 then invalid_arg "Attrib.create: cores must be >= 1";
+  let stride = Eid.max_ids in
+  let n = cores * stride in
+  {
+    cores;
+    stride;
+    cycles = Array.make n 0;
+    instructions = Array.make n 0;
+    l3_hits = Array.make n 0;
+    l3_misses = Array.make n 0;
+    lat = Array.make n None;
+    pkt_cycles = Array.make n 0;
+    touched = Array.make n 0;
+    ntouched = Array.make cores 0;
+    window_start = Array.make cores 0;
+    window_cycles = Array.make cores 0;
+  }
+
+(* Shared placeholder threaded through the engine when profiling is off:
+   gated behind the hoisted [prof] flag, it is never written. *)
+let none = create ~cores:1
+
+let[@inline] touch t ~core i cyc =
+  let c = Array.unsafe_get t.pkt_cycles i in
+  if c = 0 then begin
+    let n = Array.unsafe_get t.ntouched core in
+    Array.unsafe_set t.touched ((core * t.stride) + n) (i - (core * t.stride));
+    Array.unsafe_set t.ntouched core (n + 1)
+  end;
+  Array.unsafe_set t.pkt_cycles i (c + cyc)
+
+let[@inline] mem_op t ~core ~elem ~cycles ~l3_hit ~l3_miss ~in_window =
+  let i = (core * t.stride) + elem in
+  touch t ~core i cycles;
+  if in_window then begin
+    Array.unsafe_set t.cycles i (Array.unsafe_get t.cycles i + cycles);
+    Array.unsafe_set t.instructions i (Array.unsafe_get t.instructions i + 1);
+    Array.unsafe_set t.l3_hits i (Array.unsafe_get t.l3_hits i + l3_hit);
+    Array.unsafe_set t.l3_misses i (Array.unsafe_get t.l3_misses i + l3_miss)
+  end
+
+let[@inline] compute_op t ~core ~elem ~instrs ~cycles ~in_window =
+  let i = (core * t.stride) + elem in
+  touch t ~core i cycles;
+  if in_window then begin
+    Array.unsafe_set t.cycles i (Array.unsafe_get t.cycles i + cycles);
+    Array.unsafe_set t.instructions i (Array.unsafe_get t.instructions i + instrs)
+  end
+
+let[@inline] stall_op t ~core ~elem ~cycles ~in_window =
+  let i = (core * t.stride) + elem in
+  touch t ~core i cycles;
+  if in_window then
+    Array.unsafe_set t.cycles i (Array.unsafe_get t.cycles i + cycles)
+
+let finish_trace t ~core ~record =
+  let base = core * t.stride in
+  let n = t.ntouched.(core) in
+  for s = 0 to n - 1 do
+    let e = t.touched.(base + s) in
+    let i = base + e in
+    if record then begin
+      let h =
+        match t.lat.(i) with
+        | Some h -> h
+        | None ->
+            let h = Ppp_util.Histogram.create () in
+            t.lat.(i) <- Some h;
+            h
+      in
+      Ppp_util.Histogram.record h t.pkt_cycles.(i)
+    end;
+    t.pkt_cycles.(i) <- 0
+  done;
+  t.ntouched.(core) <- 0
+
+let set_window t ~core ~start ~cycles =
+  t.window_start.(core) <- start;
+  t.window_cycles.(core) <- cycles
+
+let cores t = t.cores
+let cycles t ~core ~elem = t.cycles.((core * t.stride) + elem)
+let instructions t ~core ~elem = t.instructions.((core * t.stride) + elem)
+let l3_hits t ~core ~elem = t.l3_hits.((core * t.stride) + elem)
+let l3_misses t ~core ~elem = t.l3_misses.((core * t.stride) + elem)
+let latency t ~core ~elem = t.lat.((core * t.stride) + elem)
+let window_start t ~core = t.window_start.(core)
+let window_cycles t ~core = t.window_cycles.(core)

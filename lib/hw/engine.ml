@@ -1,4 +1,4 @@
-type item = Packet of Trace.t | Idle of Trace.t
+type item = Packet of Trace.t | Idle of Trace.t | Reordered of Trace.t
 type source = int -> item
 type flow = { core : int; label : string; source : source }
 
@@ -24,6 +24,8 @@ type result = {
   l3_refs_per_sec : float;
   l3_hits_per_sec : float;
   latency : Ppp_util.Histogram.t;
+  latency_inorder : Ppp_util.Histogram.t;
+  latency_reordered : Ppp_util.Histogram.t;
   engine_ops : int;
 }
 
@@ -35,6 +37,7 @@ type core_state = {
   mutable trace : Trace.t;
   mutable len : int; (* Trace.length trace, cached for the per-op test *)
   mutable is_packet : bool;
+  mutable is_reordered : bool; (* current packet arrived out of order *)
   mutable pos : int;
   mutable pkt_start : int;
   mutable packets_done : int;
@@ -46,6 +49,11 @@ type core_state = {
   mutable pend_instr : int;
   mutable pend_packets : int;
   latency : Ppp_util.Histogram.t;
+  (* The same window latencies split by arrival order, as flagged by the
+     source ([Packet] vs [Reordered]): tail percentiles of reordered
+     packets are reported separately by the traffic experiment. *)
+  latency_inorder : Ppp_util.Histogram.t;
+  latency_reordered : Ppp_util.Histogram.t;
   (* Window snapshots. The [warm_done]/[end_done]/[sampling] flags mirror
      the option fields: [snapshot] runs after every op, and gating it on
      booleans instead of polymorphic [= None] compares keeps two C calls
@@ -85,20 +93,30 @@ let flush st =
 let fetch st =
   flush st;
   let item = st.flow.source st.time in
-  let trace, is_packet =
-    match item with Packet t -> (t, true) | Idle t -> (t, false)
+  let trace, is_packet, is_reordered =
+    match item with
+    | Packet t -> (t, true, false)
+    | Reordered t -> (t, true, true)
+    | Idle t -> (t, false, false)
   in
   if Trace.length trace = 0 then
     invalid_arg "Engine: source returned an empty trace";
   st.trace <- trace;
   st.len <- Trace.length trace;
   st.is_packet <- is_packet;
+  st.is_reordered <- is_reordered;
   if is_packet then st.pkt_start <- st.time;
   st.pos <- 0
 
-let run ?probe ?(batch = 32) hier ~flows ~warmup_cycles ~measure_cycles =
+let run ?probe ?attrib ?(batch = 32) hier ~flows ~warmup_cycles
+    ~measure_cycles =
   if flows = [] then invalid_arg "Engine.run: no flows";
   if batch < 1 then invalid_arg "Engine.run: batch must be >= 1";
+  (* Profiling is decided once per run: [prof] is the single hoisted branch
+     the op path pays when attribution is off, and [at] is never touched
+     behind it. *)
+  let prof = match attrib with Some _ -> true | None -> false in
+  let at = match attrib with Some a -> a | None -> Attrib.none in
   (match probe with
   | Some p when p.sample_cycles < 1 ->
       invalid_arg "Engine.run: sample_cycles must be >= 1"
@@ -123,6 +141,7 @@ let run ?probe ?(batch = 32) hier ~flows ~warmup_cycles ~measure_cycles =
             trace = Trace.empty;
             len = 0;
             is_packet = false;
+            is_reordered = false;
             pos = 0;
             pkt_start = 0;
             packets_done = 0;
@@ -130,6 +149,8 @@ let run ?probe ?(batch = 32) hier ~flows ~warmup_cycles ~measure_cycles =
             pend_instr = 0;
             pend_packets = 0;
             latency = Ppp_util.Histogram.create ();
+            latency_inorder = Ppp_util.Histogram.create ();
+            latency_reordered = Ppp_util.Histogram.create ();
             warm_done = false;
             warm_time = 0;
             warm_packets = 0;
@@ -249,6 +270,12 @@ let run ?probe ?(batch = 32) hier ~flows ~warmup_cycles ~measure_cycles =
     let stop =
       ref (let nc = st.next_check in if nc < bound then nc else bound)
     in
+    (* Whether ops executed now land inside the measurement window. The
+       flag flips only at snapshot calls — the inner loop exits before any
+       op past [next_check] runs — so refreshing it after each snapshot
+       site keeps window attribution exactly aligned with the counter
+       copies ([Counters.diff] boundary semantics). Only read when [prof]. *)
+    let in_w = ref (st.warm_done && not st.end_done) in
     let running = ref true in
     while !running do
       while !time < !stop && !budget > 0 do
@@ -256,18 +283,46 @@ let run ?probe ?(batch = 32) hier ~flows ~warmup_cycles ~measure_cycles =
         let w = Array.unsafe_get !ops !pos in
         let kc = Trace.raw_kind w in
         if kc = Trace.k_read || kc = Trace.k_write then begin
-          let lat =
-            Hierarchy.access hier ~core ~write:(kc = Trace.k_write)
-              ~fn:(Trace.raw_fn w) ~addr:(Trace.raw_payload w) ~now:!time
-          in
-          time := !time + lat
+          if prof then begin
+            (* Exact L3 attribution by construction: diff the core's own
+               counters around the access (only the accessing core's
+               counters move, by at most one hit or miss). *)
+            let ctr = st.ctr in
+            let h0 = Counters.l3_hits ctr and m0 = Counters.l3_misses ctr in
+            let lat =
+              Hierarchy.access hier ~core ~write:(kc = Trace.k_write)
+                ~fn:(Trace.raw_fn w) ~addr:(Trace.raw_payload w) ~now:!time
+            in
+            Attrib.mem_op at ~core ~elem:(Trace.raw_elem w) ~cycles:lat
+              ~l3_hit:(Counters.l3_hits ctr - h0)
+              ~l3_miss:(Counters.l3_misses ctr - m0)
+              ~in_window:!in_w;
+            time := !time + lat
+          end
+          else begin
+            let lat =
+              Hierarchy.access hier ~core ~write:(kc = Trace.k_write)
+                ~fn:(Trace.raw_fn w) ~addr:(Trace.raw_payload w) ~now:!time
+            in
+            time := !time + lat
+          end
         end
         else if kc = Trace.k_compute then begin
           let payload = Trace.raw_payload w in
           pend_instr := !pend_instr + payload;
-          time := !time + Costs.compute_cycles costs payload
+          let dt = Costs.compute_cycles costs payload in
+          if prof then
+            Attrib.compute_op at ~core ~elem:(Trace.raw_elem w)
+              ~instrs:payload ~cycles:dt ~in_window:!in_w;
+          time := !time + dt
         end
-        else if kc = Trace.k_stall then time := !time + Trace.raw_payload w
+        else if kc = Trace.k_stall then begin
+          let dt = Trace.raw_payload w in
+          if prof then
+            Attrib.stall_op at ~core ~elem:(Trace.raw_elem w) ~cycles:dt
+              ~in_window:!in_w;
+          time := !time + dt
+        end
         else Hierarchy.dma_write hier ~addr:(Trace.raw_payload w) ~now:!time;
         incr pos;
         if !pos >= !len then begin
@@ -286,6 +341,10 @@ let run ?probe ?(batch = 32) hier ~flows ~warmup_cycles ~measure_cycles =
             (* Latency tracked for packets completing inside the window. *)
             if st.warm_done && not st.end_done then begin
               Ppp_util.Histogram.record st.latency (!time - st.pkt_start);
+              Ppp_util.Histogram.record
+                (if st.is_reordered then st.latency_reordered
+                 else st.latency_inorder)
+                (!time - st.pkt_start);
               (* The packet belongs to the slice that closes at or after
                  this completion time. *)
               if st.sampling then
@@ -293,7 +352,15 @@ let run ?probe ?(batch = 32) hier ~flows ~warmup_cycles ~measure_cycles =
                   (!time - st.pkt_start)
             end
           end;
-          if !time >= st.next_check then snapshot st;
+          (* The per-element latency commit uses the same gate as the
+             window latency record above, read before the snapshot runs. *)
+          if prof then
+            Attrib.finish_trace at ~core
+              ~record:(st.is_packet && st.warm_done && not st.end_done);
+          if !time >= st.next_check then begin
+            snapshot st;
+            in_w := st.warm_done && not st.end_done
+          end;
           fetch st;
           ops := Trace.raw_ops st.trace;
           len := st.len;
@@ -311,7 +378,8 @@ let run ?probe ?(batch = 32) hier ~flows ~warmup_cycles ~measure_cycles =
          local accumulator must restart from the flushed field. *)
       if !time >= st.next_check then begin
         snapshot st;
-        pend_instr := st.pend_instr
+        pend_instr := st.pend_instr;
+        in_w := st.warm_done && not st.end_done
       end;
       let nc = st.next_check in
       stop := (if nc < bound then nc else bound);
@@ -392,6 +460,9 @@ let run ?probe ?(batch = 32) hier ~flows ~warmup_cycles ~measure_cycles =
          let cycles = max 1 (st.end_time - st.warm_time) in
          let seconds = Costs.cycles_to_seconds costs cycles in
          let packets = st.end_packets - st.warm_packets in
+         if prof then
+           Attrib.set_window at ~core:st.core ~start:st.warm_time
+             ~cycles:(st.end_time - st.warm_time);
          {
            core = st.flow.core;
            label = st.flow.label;
@@ -402,6 +473,8 @@ let run ?probe ?(batch = 32) hier ~flows ~warmup_cycles ~measure_cycles =
            l3_refs_per_sec = float_of_int (Counters.l3_refs ctr) /. seconds;
            l3_hits_per_sec = float_of_int (Counters.l3_hits ctr) /. seconds;
            latency = st.latency;
+           latency_inorder = st.latency_inorder;
+           latency_reordered = st.latency_reordered;
            engine_ops = st.ops_done;
          })
        states)

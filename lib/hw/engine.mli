@@ -15,6 +15,10 @@
 type item =
   | Packet of Trace.t  (** work for one packet; completion counts a packet *)
   | Idle of Trace.t  (** stall/bookkeeping ops that do not complete a packet *)
+  | Reordered of Trace.t
+      (** a packet like [Packet], whose arrival the source's reorder
+          detector flagged as a sequence inversion: its latency is
+          additionally recorded in the [reordered] histogram column *)
 
 type source = int -> item
 (** Called with the core's current cycle whenever the core finished its
@@ -65,6 +69,12 @@ type result = {
   latency : Ppp_util.Histogram.t;
       (** per-packet processing latency (cycles), packets completed within
           the window *)
+  latency_inorder : Ppp_util.Histogram.t;
+      (** the subset of [latency] from packets delivered in order *)
+  latency_reordered : Ppp_util.Histogram.t;
+      (** the subset of [latency] from packets flagged {!Reordered} by the
+          source; [latency_inorder] and [latency_reordered] partition
+          [latency] exactly *)
   engine_ops : int;
       (** trace operations the engine replayed for this core over the whole
           run, warmup included — the simulator's own work, used by the bench
@@ -73,6 +83,7 @@ type result = {
 
 val run :
   ?probe:probe ->
+  ?attrib:Attrib.t ->
   ?batch:int ->
   Hierarchy.t -> flows:flow list -> warmup_cycles:int -> measure_cycles:int ->
   result list
@@ -80,6 +91,15 @@ val run :
     result per flow, in input order. When [probe] is given, every core's
     measurement window is additionally delivered as contiguous time slices
     through [probe.on_sample]; sampling does not perturb the simulation.
+
+    When [attrib] is given, every replayed op's cycles, instructions and L3
+    hits/misses are attributed to its {!Trace.elem} element id in the given
+    accumulators (window-gated with the exact counter-snapshot boundary
+    semantics), and each in-window packet's per-element time is recorded
+    into the per-(core, element) latency histograms. Attribution reads the
+    simulation but never perturbs it: results are byte-identical with and
+    without [attrib], and without it the op path pays a single hoisted
+    branch (still allocation-free — the perf gate pins both).
 
     [batch] (default 32; must be >= 1) caps how many trace operations the
     scheduled core executes per scheduling decision. The engine bursts the

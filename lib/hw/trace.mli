@@ -6,9 +6,9 @@
     replays traces from co-scheduled cores interleaved in simulated time,
     which is what creates cache and memory-controller contention.
 
-    Each op packs into one int: 2 bits of kind, 6 bits of function tag, and
-    55 bits of payload (an address for memory ops, an instruction count for
-    compute, cycles for stalls). *)
+    Each op packs into one int: 3 bits of kind, 6 bits of function tag,
+    7 bits of element id, and 46 bits of payload (an address for memory
+    ops, an instruction count for compute, cycles for stalls). *)
 
 type op_kind = Compute | Read | Write | Stall | Dma
 
@@ -18,6 +18,11 @@ type t
 val length : t -> int
 val kind : t -> int -> op_kind
 val fn : t -> int -> Fn.t
+
+val elem : t -> int -> Eid.t
+(** Element id stamped on op [i] ({!Eid.other} when the builder had no
+    element in scope). *)
+
 val payload : t -> int -> int
 
 val iter : t -> (op_kind -> Fn.t -> int -> unit) -> unit
@@ -44,6 +49,11 @@ val raw_kind : int -> int
 (** Kind code of a packed word: one of [k_compute]..[k_dma]. *)
 
 val raw_fn : int -> Fn.t
+
+val raw_elem : int -> Eid.t
+(** Element id of a packed word — what the profiling engine attributes the
+    op's cycles and cache events to. *)
+
 val raw_payload : int -> int
 
 val k_compute : int
@@ -64,7 +74,16 @@ module Builder : sig
   type t
 
   val create : ?initial_capacity:int -> unit -> t
+
   val clear : t -> unit
+  (** Empties the builder and resets the element scope to {!Eid.other}. *)
+
+  val set_elem : t -> Eid.t -> unit
+  (** [set_elem b e] stamps element [e] on every subsequently pushed op,
+      until the next [set_elem] or [clear]. Element chains call this as
+      control moves between elements, so a finished trace carries the
+      packet's element path op by op. *)
+
   val compute : t -> fn:Fn.t -> int -> unit
   (** [compute b ~fn n] records [n] instructions of pure compute. [n <= 0] is
       ignored. *)

@@ -12,9 +12,10 @@ let event_cell_name (e : Event.t) =
 
 (* Deterministic pid per (experiment, cell), in first-appearance order of
    the (already sorted) series list, then of the (already sorted) event
-   list — so a trace with no events keeps its historical pids byte-for-
-   byte. pid 0 is reserved for wall-clock. *)
-let assign_pids series events =
+   list, then of the (already sorted) profile entries — so a trace with no
+   events or profile keeps its historical pids byte-for-byte. pid 0 is
+   reserved for wall-clock. *)
+let assign_pids series events profile =
   let tbl = Hashtbl.create 16 in
   let next = ref 1 in
   let claim key =
@@ -25,6 +26,9 @@ let assign_pids series events =
   in
   List.iter (fun s -> claim (cell_name s)) series;
   List.iter (fun e -> claim (event_cell_name e)) events;
+  List.iter
+    (fun (p : Recorder.profile_entry) -> claim p.Recorder.pr_cell)
+    profile;
   fun key -> Hashtbl.find tbl key
 
 let meta_event ~pid ?tid ~name ~value () =
@@ -99,6 +103,54 @@ let instant_events pid_of events =
         ])
     events
 
+(* Per-element attribution as complete ("X") events on the simulated clock.
+   Attribution has no op-level timestamps — only window totals — so each
+   (cell, core)'s elements are laid out sequentially from the core's window
+   start, each spanning its attributed cycles: the track reads as "how the
+   core's window divides between elements", and the per-event args carry
+   the counter and latency detail. *)
+let profile_events pid_of (entries : Recorder.profile_entry list) =
+  let cursor = Hashtbl.create 16 in
+  List.concat_map
+    (fun (e : Recorder.profile_entry) ->
+      if e.Recorder.pr_cycles = 0 then []
+      else begin
+        let pid = pid_of e.Recorder.pr_cell in
+        let tid = e.Recorder.pr_core + 1 in
+        let key = (e.Recorder.pr_cell, e.Recorder.pr_core) in
+        let ts =
+          Option.value
+            (Hashtbl.find_opt cursor key)
+            ~default:e.Recorder.pr_window_start
+        in
+        Hashtbl.replace cursor key (ts + e.Recorder.pr_cycles);
+        [
+          Json.Obj
+            [
+              ("name", Json.Str e.Recorder.pr_elem);
+              ("cat", Json.Str "profile");
+              ("ph", Json.Str "X");
+              ("pid", Json.Int pid);
+              ("tid", Json.Int tid);
+              ("ts", Json.Int ts);
+              ("dur", Json.Int e.Recorder.pr_cycles);
+              ( "args",
+                Json.Obj
+                  [
+                    ("flow", Json.Str e.Recorder.pr_flow);
+                    ("instructions", Json.Int e.Recorder.pr_instructions);
+                    ("l3_hits", Json.Int e.Recorder.pr_l3_hits);
+                    ("l3_misses", Json.Int e.Recorder.pr_l3_misses);
+                    ("packets", Json.Int e.Recorder.pr_packets);
+                    ("lat_p50", Json.Int e.Recorder.pr_lat_p50);
+                    ("lat_p99", Json.Int e.Recorder.pr_lat_p99);
+                    ("lat_p999", Json.Int e.Recorder.pr_lat_p999);
+                  ] );
+            ];
+        ]
+      end)
+    entries
+
 let span_events spans =
   match spans with
   | [] -> []
@@ -129,11 +181,13 @@ let span_events spans =
                ])
            spans
 
-let trace ?(include_wall_clock = true) ?(events = []) ~series ~spans ~meta () =
-  let pid_of = assign_pids series events in
+let trace ?(include_wall_clock = true) ?(events = []) ?(profile = []) ~series
+    ~spans ~meta () =
+  let pid_of = assign_pids series events profile in
   let events =
     List.concat_map (series_events pid_of) series
     @ instant_events pid_of events
+    @ profile_events pid_of profile
     @ (if include_wall_clock then span_events spans else [])
   in
   Json.Obj

@@ -4,13 +4,19 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* The one shared "make sure this output directory exists" entry point: the
+   CLIs' --metrics-dir / --trace / --profile-out all funnel through here. *)
+let ensure_dir = mkdir_p
+
 let deterministic_trace ~meta =
   Chrome.trace ~include_wall_clock:false ~events:(Recorder.events ())
-    ~series:(Recorder.series ()) ~spans:[] ~meta ()
+    ~profile:(Recorder.profile ()) ~series:(Recorder.series ()) ~spans:[]
+    ~meta ()
 
 let write_trace ~path ~meta =
   Json.write_file path
-    (Chrome.trace ~events:(Recorder.events ()) ~series:(Recorder.series ())
+    (Chrome.trace ~events:(Recorder.events ())
+       ~profile:(Recorder.profile ()) ~series:(Recorder.series ())
        ~spans:(Recorder.spans ()) ~meta ())
 
 let write_string path s =
@@ -18,7 +24,7 @@ let write_string path s =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
 
 let write_metrics_dir ~dir ~run =
-  mkdir_p dir;
+  ensure_dir dir;
   let series = Recorder.series () in
   let spans = Recorder.spans () in
   let events = Recorder.events () in
@@ -29,11 +35,24 @@ let write_metrics_dir ~dir ~run =
     (Manifest.json ~events
        ~classifier:(Recorder.classifier ())
        ~traffic:(Recorder.traffic ())
+       ~profile:(Recorder.profile ())
        ~run
        ~experiments:(Recorder.experiments ())
        ~series ~spans ())
 
+let write_profile_dir ~dir =
+  ensure_dir dir;
+  let entries = Recorder.profile () in
+  write_string
+    (Filename.concat dir "profile_cycles.folded")
+    (Profile.folded_cycles entries);
+  write_string
+    (Filename.concat dir "profile_l3_misses.folded")
+    (Profile.folded_l3_misses entries);
+  write_string (Filename.concat dir "top.txt")
+    (Profile.top ~title:"all cells" entries)
+
 let write_monitor_dir ~dir ~alerts ~timeline_csv =
-  mkdir_p dir;
+  ensure_dir dir;
   Json.write_file (Filename.concat dir "alerts.json") alerts;
   write_string (Filename.concat dir "monitor.csv") timeline_csv

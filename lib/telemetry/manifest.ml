@@ -9,8 +9,8 @@ type run = {
   sample_cycles : int option;
 }
 
-let schema = "ppp-telemetry/4"
-let schema_version = 4
+let schema = "ppp-telemetry/5"
+let schema_version = 5
 
 (* The alerts section summarizes monitor events. It is always present —
    an empty section (0 events) is the valid shape for non-monitor runs —
@@ -100,8 +100,44 @@ let traffic_json (entries : Recorder.traffic_entry list) =
              entries) );
     ]
 
-let json ?(events = []) ?(classifier = []) ?(traffic = []) ~run ~experiments
-    ~series ~spans () =
+(* Schema 5: the profile section summarizes per-element attribution when a
+   run was profiled (--profile). Always present like the other sections;
+   an empty section (0 entries) is the valid shape for unprofiled runs. *)
+let profile_json (entries : Recorder.profile_entry list) =
+  let sum f = List.fold_left (fun acc e -> acc + f e) 0 entries in
+  Json.Obj
+    [
+      ("entries", Json.Int (List.length entries));
+      ("cycles", Json.Int (sum (fun e -> e.Recorder.pr_cycles)));
+      ( "instructions",
+        Json.Int (sum (fun e -> e.Recorder.pr_instructions)) );
+      ("l3_hits", Json.Int (sum (fun e -> e.Recorder.pr_l3_hits)));
+      ("l3_misses", Json.Int (sum (fun e -> e.Recorder.pr_l3_misses)));
+      ("packets", Json.Int (sum (fun e -> e.Recorder.pr_packets)));
+      ( "window_cycles",
+        Json.Int (Profile.window_cycles_total entries) );
+      ( "by_element",
+        Json.Arr
+          (List.map
+             (fun (t : Profile.element_total) ->
+               Json.Obj
+                 [
+                   ("element", Json.Str t.Profile.el_name);
+                   ("cycles", Json.Int t.Profile.el_cycles);
+                   ("instructions", Json.Int t.Profile.el_instructions);
+                   ("l3_hits", Json.Int t.Profile.el_l3_hits);
+                   ("l3_misses", Json.Int t.Profile.el_l3_misses);
+                   ("packets", Json.Int t.Profile.el_packets);
+                   ("lat_p50", Json.Int t.Profile.el_lat_p50);
+                   ("lat_p90", Json.Int t.Profile.el_lat_p90);
+                   ("lat_p99", Json.Int t.Profile.el_lat_p99);
+                   ("lat_p999", Json.Int t.Profile.el_lat_p999);
+                 ])
+             (Profile.by_element entries)) );
+    ]
+
+let json ?(events = []) ?(classifier = []) ?(traffic = []) ?(profile = [])
+    ~run ~experiments ~series ~spans () =
   let n_slices =
     List.fold_left
       (fun acc (s : Timeseries.t) -> acc + List.length s.Timeseries.slices)
@@ -161,6 +197,7 @@ let json ?(events = []) ?(classifier = []) ?(traffic = []) ~run ~experiments
       ("alerts", alerts_json events);
       ("classifier", classifier_json classifier);
       ("traffic", traffic_json traffic);
+      ("profile", profile_json profile);
       ( "wall_clock",
         Json.Obj
           [

@@ -21,17 +21,21 @@ val json :
   ?events:Event.t list ->
   ?classifier:Recorder.classifier_entry list ->
   ?traffic:Recorder.traffic_entry list ->
+  ?profile:Recorder.profile_entry list ->
   run:run ->
   experiments:Recorder.experiment_entry list ->
   series:Timeseries.t list ->
   spans:Span.t list ->
   unit ->
   Json.t
-(** Schema "ppp-telemetry/4": a [schema_version] field, an [alerts] section
+(** Schema "ppp-telemetry/5": a [schema_version] field, an [alerts] section
     summarizing monitor events (count + per-name breakdown), a [classifier]
     section summarizing fast-path/slow-path counters (totals + per-cell
-    breakdown), and a [traffic] section summarizing the traffic-realism
-    cells (reorders, steering migrations, predictor/monitor accuracy).
-    All three sections are always emitted; with no data they are the
-    empty-but-valid shapes ({["events": 0]}, {["cells": 0]}), so runs that
-    exercise none of the subsystems stay schema-conforming. *)
+    breakdown), a [traffic] section summarizing the traffic-realism
+    cells (reorders, steering migrations, predictor/monitor accuracy), and
+    a [profile] section summarizing per-element attribution (totals +
+    per-element breakdown with worst-core latency percentiles).
+    All four sections are always emitted; with no data they are the
+    empty-but-valid shapes ({["events": 0]}, {["cells": 0]},
+    {["entries": 0]}), so runs that exercise none of the subsystems stay
+    schema-conforming. *)

@@ -29,6 +29,24 @@ type traffic_entry = {
   tr_measured_drop : float;
 }
 
+type profile_entry = {
+  pr_cell : string;
+  pr_core : int;
+  pr_flow : string;
+  pr_elem : string;
+  pr_cycles : int;
+  pr_instructions : int;
+  pr_l3_hits : int;
+  pr_l3_misses : int;
+  pr_packets : int;
+  pr_lat_p50 : int;
+  pr_lat_p90 : int;
+  pr_lat_p99 : int;
+  pr_lat_p999 : int;
+  pr_window_start : int;
+  pr_window_cycles : int;
+}
+
 (* Sampling config and the current experiment id are read from worker
    domains on the hot-ish path, so they live in atomics; the accumulators
    are mutated under one mutex. *)
@@ -42,6 +60,7 @@ let acc_events : Event.t list ref = ref []
 let acc_experiments : experiment_entry list ref = ref []
 let acc_classifier : classifier_entry list ref = ref []
 let acc_traffic : traffic_entry list ref = ref []
+let acc_profile : profile_entry list ref = ref []
 
 let locked f =
   Mutex.lock lock;
@@ -62,7 +81,8 @@ let clear_data () =
       acc_events := [];
       acc_experiments := [];
       acc_classifier := [];
-      acc_traffic := [])
+      acc_traffic := [];
+      acc_profile := [])
 
 let reset () =
   Atomic.set sampling_setting 0;
@@ -135,3 +155,14 @@ let traffic () =
             (a.tr_cell, a.tr_model, a.tr_steering)
             (b.tr_cell, b.tr_model, b.tr_steering))
         !acc_traffic)
+
+let add_profile es =
+  locked (fun () -> acc_profile := List.rev_append es !acc_profile)
+
+let profile () =
+  locked (fun () ->
+      List.sort
+        (fun a b ->
+          compare (a.pr_cell, a.pr_core, a.pr_elem)
+            (b.pr_cell, b.pr_core, b.pr_elem))
+        !acc_profile)

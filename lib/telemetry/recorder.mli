@@ -41,6 +41,24 @@ type traffic_entry = {
   tr_measured_drop : float;  (** drop fraction actually measured *)
 }
 
+type profile_entry = {
+  pr_cell : string;  (** experiment cell label, e.g. "fig2/ip" *)
+  pr_core : int;
+  pr_flow : string;  (** label of the flow running on [pr_core] *)
+  pr_elem : string;  (** element name ({!Ppp_hw.Eid.name}) *)
+  pr_cycles : int;  (** cycles retired inside this element (window only) *)
+  pr_instructions : int;
+  pr_l3_hits : int;
+  pr_l3_misses : int;
+  pr_packets : int;  (** packets whose latency was attributed here *)
+  pr_lat_p50 : int;  (** per-packet cycles spent in this element *)
+  pr_lat_p90 : int;
+  pr_lat_p99 : int;
+  pr_lat_p999 : int;
+  pr_window_start : int;  (** core's measurement-window start (cycles) *)
+  pr_window_cycles : int;  (** core's measurement-window length (cycles) *)
+}
+
 val configure : ?sample_cycles:int -> ?spans:bool -> unit -> unit
 (** Turns collection on. [sample_cycles] enables counter sampling at that
     slice length (in simulated cycles); [spans] enables wall-clock span
@@ -109,3 +127,11 @@ val add_traffic : traffic_entry -> unit
 val traffic : unit -> traffic_entry list
 (** Sorted by (cell, model, steering) — deterministic regardless of job
     count. *)
+
+val add_profile : profile_entry list -> unit
+(** Thread-safe; always recorded (like {!add_classifier}). *)
+
+val profile : unit -> profile_entry list
+(** Sorted by (cell, core, elem). Element names are stable across job
+    counts (ids are registered globally by name), so this order — and the
+    entries themselves — are deterministic regardless of [--jobs]. *)

@@ -39,15 +39,22 @@ let observe t ~flow ~seq =
   t.observed <- t.observed + 1;
   let i = flow land t.mask in
   if t.tags.(i) = flow then begin
-    if seq > t.marks.(i) then t.marks.(i) <- seq
-    else if seq < t.marks.(i) then t.reorders <- t.reorders + 1
-    (* equal: duplicate of the high-water mark *)
+    if seq > t.marks.(i) then begin
+      t.marks.(i) <- seq;
+      false
+    end
+    else if seq < t.marks.(i) then begin
+      t.reorders <- t.reorders + 1;
+      true
+    end
+    else false (* equal: duplicate of the high-water mark *)
   end
   else begin
     (* Empty slot or eviction: either way a flow we have no state for. *)
     t.distinct <- t.distinct + 1;
     t.tags.(i) <- flow;
-    t.marks.(i) <- seq
+    t.marks.(i) <- seq;
+    false
   end
 
 let observed t = t.observed

@@ -20,7 +20,10 @@ val create : ?slots:int -> unit -> t
 (** [slots] (default 16384) must be a positive power of two; raises
     [Invalid_argument] otherwise. *)
 
-val observe : t -> flow:int -> seq:int -> unit
+val observe : t -> flow:int -> seq:int -> bool
+(** Feed one packet; [true] iff this arrival is a reordered singleton
+    (below its flow's high-water mark). Callers route the packet's latency
+    into the in-order or reordered histogram column accordingly. *)
 
 val observed : t -> int
 (** Packets observed. *)

@@ -1,5 +1,8 @@
 (* Buckets: values < 64 are exact; beyond that, 16 sub-buckets per power of
-   two. Bucket upper bounds are reconstructible from the index. *)
+   two. Bucket upper bounds are reconstructible from the index. The exact
+   min/max of the recorded samples ride along so the distribution's
+   endpoints are reported exactly (and interior percentile estimates never
+   overshoot the largest sample). *)
 
 let linear_cutoff = 64
 let sub_buckets = 16
@@ -8,11 +11,20 @@ type t = {
   buckets : int array;
   mutable count : int;
   mutable total : int;
+  mutable vmin : int; (* exact smallest sample; max_int when empty *)
+  mutable vmax : int; (* exact largest sample; 0 when empty *)
 }
 
 let bucket_count = linear_cutoff + ((62 - 6) * sub_buckets)
 
-let create () = { buckets = Array.make bucket_count 0; count = 0; total = 0 }
+let create () =
+  {
+    buckets = Array.make bucket_count 0;
+    count = 0;
+    total = 0;
+    vmin = max_int;
+    vmax = 0;
+  }
 
 let index_of v =
   if v < linear_cutoff then v
@@ -39,7 +51,9 @@ let record t v =
   if v < 0 then invalid_arg "Histogram.record: negative value";
   t.buckets.(index_of v) <- t.buckets.(index_of v) + 1;
   t.count <- t.count + 1;
-  t.total <- t.total + v
+  t.total <- t.total + v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
 
 let count t = t.count
 let total t = t.total
@@ -48,6 +62,7 @@ let mean t = if t.count = 0 then 0.0 else float_of_int t.total /. float_of_int t
 let percentile t p =
   if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile";
   if t.count = 0 then 0
+  else if p = 0.0 then t.vmin
   else begin
     let rank =
       int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.count))
@@ -63,8 +78,14 @@ let percentile t p =
          end
        done
      with Exit -> ());
-    !result
+    (* The bucket upper bound can only overshoot when the rank lands in the
+       bucket holding the largest sample; clamping there makes [p = 100]
+       exact and keeps percentile monotone through the endpoints. *)
+    if !result > t.vmax then t.vmax else !result
   end
+
+let min_value t = if t.count = 0 then 0 else t.vmin
+let exact_max t = t.vmax
 
 let max_value t =
   let result = ref 0 in
@@ -78,9 +99,13 @@ let merge_into ~src ~dst =
     dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
   done;
   dst.count <- dst.count + src.count;
-  dst.total <- dst.total + src.total
+  dst.total <- dst.total + src.total;
+  if src.vmin < dst.vmin then dst.vmin <- src.vmin;
+  if src.vmax > dst.vmax then dst.vmax <- src.vmax
 
 let clear t =
   Array.fill t.buckets 0 bucket_count 0;
   t.count <- 0;
-  t.total <- 0
+  t.total <- 0;
+  t.vmin <- max_int;
+  t.vmax <- 0

@@ -1,8 +1,14 @@
 (** Fixed-memory log-bucketed histogram for latency-style distributions.
 
-    Values are bucketed geometrically (~4.6% relative resolution), so
-    recording is O(1) and percentile queries are approximate within one
-    bucket — the standard trade-off for per-packet latency tracking. *)
+    Values are bucketed geometrically, so recording is O(1) and percentile
+    queries are approximate — the standard trade-off for per-packet latency
+    tracking. The error bound is one bucket: values below 64 are exact, and
+    beyond that each power of two splits into 16 sub-buckets, so an
+    interior percentile overstates the true sample by at most its bucket's
+    width (< 1/16 of the value, ~6.7% relative at worst, ~4.6% on average).
+    The exact min and max samples are tracked on the side, so the
+    distribution endpoints ([percentile 0.] / [percentile 100.]) carry no
+    bucketing error at all. *)
 
 type t
 
@@ -23,10 +29,25 @@ val mean : t -> float
 
 val percentile : t -> float -> int
 (** [percentile t p] for [p] in [0,100]: an upper bound of the bucket
-    containing the p-th percentile sample. 0 when empty. *)
+    containing the p-th percentile sample, clamped to the exact recorded
+    extremes — so [percentile t 0.] is the exact smallest sample,
+    [percentile t 100.] the exact largest, and interior results are within
+    one bucket (never above the largest sample). Monotone in [p]. 0 when
+    empty. *)
+
+val min_value : t -> int
+(** Exact smallest recorded sample (0 when empty). *)
+
+val exact_max : t -> int
+(** Exact largest recorded sample (0 when empty). *)
 
 val max_value : t -> int
-(** Upper bound of the highest non-empty bucket (0 when empty). *)
+(** Upper bound of the highest non-empty bucket (0 when empty) — the
+    pre-existing bucketed readout, kept for callers that report bucket
+    bounds; use {!exact_max} or [percentile t 100.] for the exact
+    endpoint. *)
 
 val merge_into : src:t -> dst:t -> unit
+(** Adds [src]'s samples into [dst], including the exact min/max. *)
+
 val clear : t -> unit

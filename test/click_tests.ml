@@ -66,7 +66,7 @@ let test_flow_produces_packet_traces () =
   in
   let source = Flow.source flow in
   (match source 0 with
-  | Ppp_hw.Engine.Packet t ->
+  | Ppp_hw.Engine.Packet t | Ppp_hw.Engine.Reordered t ->
       Alcotest.(check bool) "has DMA ops" true
         (let dmas = ref 0 in
          Ppp_hw.Trace.iter t (fun k _ _ -> if k = Ppp_hw.Trace.Dma then incr dmas);
@@ -132,10 +132,11 @@ let test_staged_pipeline_flows_packets () =
   (* Drive by hand: stage1 starves until stage0 pushes. *)
   (match sources.(1) 0 with
   | Ppp_hw.Engine.Idle _ -> ()
-  | Ppp_hw.Engine.Packet _ -> Alcotest.fail "consumer should starve");
+  | Ppp_hw.Engine.Packet _ | Ppp_hw.Engine.Reordered _ ->
+      Alcotest.fail "consumer should starve");
   ignore (sources.(0) 10);
   (match sources.(1) 20 with
-  | Ppp_hw.Engine.Packet _ -> ()
+  | Ppp_hw.Engine.Packet _ | Ppp_hw.Engine.Reordered _ -> ()
   | Ppp_hw.Engine.Idle _ -> Alcotest.fail "consumer should have work");
   Alcotest.(check int) "stage0 processed" 1 !seen0;
   Alcotest.(check int) "stage1 processed" 1 !seen1;
@@ -152,7 +153,8 @@ let test_staged_backpressure () =
   (* Queue full: producer must idle. *)
   match sources.(0) 2 with
   | Ppp_hw.Engine.Idle _ -> ()
-  | Ppp_hw.Engine.Packet _ -> Alcotest.fail "expected backpressure"
+  | Ppp_hw.Engine.Packet _ | Ppp_hw.Engine.Reordered _ ->
+      Alcotest.fail "expected backpressure"
 
 (* --- Config parser --- *)
 

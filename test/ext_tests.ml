@@ -336,7 +336,9 @@ let test_multiplex_round_robin_order () =
   let mux = Ppp_click.Multiplex.round_robin [ src 11; src 22 ] in
   let payload_of item =
     match item with
-    | Ppp_hw.Engine.Packet t | Ppp_hw.Engine.Idle t -> Ppp_hw.Trace.payload t 0
+    | Ppp_hw.Engine.Packet t | Ppp_hw.Engine.Idle t
+    | Ppp_hw.Engine.Reordered t ->
+        Ppp_hw.Trace.payload t 0
   in
   Alcotest.(check (list int)) "alternates" [ 11; 22; 11; 22 ]
     (List.map (fun i -> payload_of (mux i)) [ 0; 1; 2; 3 ])
@@ -351,7 +353,9 @@ let test_multiplex_weighted () =
   let mux = Ppp_click.Multiplex.weighted [ (src 1, 2); (src 2, 1) ] in
   let payload_of item =
     match item with
-    | Ppp_hw.Engine.Packet t | Ppp_hw.Engine.Idle t -> Ppp_hw.Trace.payload t 0
+    | Ppp_hw.Engine.Packet t | Ppp_hw.Engine.Idle t
+    | Ppp_hw.Engine.Reordered t ->
+        Ppp_hw.Trace.payload t 0
   in
   Alcotest.(check (list int)) "2:1 pattern" [ 1; 1; 2; 1; 1; 2 ]
     (List.map (fun i -> payload_of (mux i)) [ 0; 1; 2; 3; 4; 5 ])

@@ -54,6 +54,25 @@ let () =
            d.Ppp_experiments.Monitor_exp.loud.Ppp_experiments.Monitor_exp
              .alerts);
       print_newline ()
+  | [| _; "top"; id |] -> (
+      (* The `repro top <id>` hot-spot report: the experiment run under the
+         per-element profiler, rendered as the top-k table. Attribution is
+         simulated-clock only and the report is keyed by element name, so
+         the snapshot is stable across job counts. *)
+      match Ppp_experiments.Registry.find id with
+      | Some e ->
+          let params =
+            Ppp_core.Runner.Params.with_profile true golden_params
+          in
+          ignore
+            (e.Ppp_experiments.Registry.run ~params ()
+              : Ppp_experiments.Output.t);
+          print_string
+            (Ppp_telemetry.Profile.top ~title:id
+               (Ppp_telemetry.Recorder.profile ()))
+      | None ->
+          Printf.eprintf "golden_gen: unknown experiment %S\n" id;
+          exit 1)
   | [| _; "json"; id |] -> (
       (* The `repro run <id> --json` envelope, byte-for-byte: the structured
          result wrapped in {id, title, paper_ref, data}. *)
@@ -87,5 +106,5 @@ let () =
           exit 1)
   | _ ->
       Printf.eprintf
-        "usage: golden_gen [trace|metrics|alerts|json] <experiment-id>\n";
+        "usage: golden_gen [trace|metrics|alerts|json|top] <experiment-id>\n";
       exit 1

@@ -20,8 +20,8 @@ let test_required_keys () =
     "required keys pinned"
     [
       "schema"; "tool"; "config"; "seed"; "quick"; "warmup_cycles";
-      "measure_cycles"; "batch"; "workloads"; "hit_path"; "flow_table";
-      "source_fill"; "trajectory";
+      "measure_cycles"; "batch"; "workloads"; "profile_overhead"; "hit_path";
+      "flow_table"; "source_fill"; "trajectory";
     ]
     G.required_keys;
   let keys = top_keys (G.to_json (Lazy.force report)) in
@@ -34,8 +34,8 @@ let test_required_keys () =
 let test_workloads () =
   let r = Lazy.force report in
   Alcotest.(check (list string))
-    "the three gated workloads, in order"
-    [ "solo"; "contended"; "probed" ]
+    "the four gated workloads, in order"
+    [ "solo"; "contended"; "probed"; "profiled" ]
     (List.map (fun (m : G.measurement) -> m.G.name) r.G.workloads);
   List.iter
     (fun (m : G.measurement) ->
@@ -45,7 +45,18 @@ let test_workloads () =
         (m.G.ops_per_sec > 0.0);
       Alcotest.(check bool) (m.G.name ^ ": packets flowed") true
         (m.G.window_packets > 0))
-    r.G.workloads
+    r.G.workloads;
+  (* Attribution is pure observation: the profiled window must replay the
+     contended simulation exactly, ops and packets both. *)
+  let find name =
+    List.find (fun (m : G.measurement) -> m.G.name = name) r.G.workloads
+  in
+  Alcotest.(check int)
+    "profiled replays contended: same engine ops"
+    (find "contended").G.engine_ops (find "profiled").G.engine_ops;
+  Alcotest.(check int)
+    "profiled replays contended: same packets"
+    (find "contended").G.window_packets (find "profiled").G.window_packets
 
 let test_flow_table_loop () =
   let ft = (Lazy.force report).G.flow_table in

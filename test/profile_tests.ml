@@ -1,0 +1,237 @@
+(* The per-element attribution profiler's contract, in three parts:
+
+   1. Conservation — for every core, the per-element sums of instructions /
+      L3 hits / L3 misses equal the engine window's {!Counters.diff}, the
+      per-element cycles sum to [window_cycles], and the per-element
+      latency histograms' totals sum to the packet latency total. Exact,
+      for random flow sets, seeds and batch sizes.
+   2. Purity — attribution reads the simulation but never perturbs it:
+      results with [?attrib] are identical to results without.
+   3. Determinism — the user-facing exports (folded stacks, hot-spot
+      report) are byte-identical under --jobs 4 --batch 32 and
+      --jobs 1 --batch 1, because everything is keyed by element name. *)
+
+open Ppp_hw
+
+let kinds = Ppp_apps.App.[ IP; MON; FW; RE; VPN ]
+
+let mk_flows ~config ~seed kind_ixs =
+  let heap = Ppp_simmem.Heap.create ~node:0 in
+  let rng = Ppp_util.Rng.create ~seed in
+  List.mapi
+    (fun core ix ->
+      let kind = List.nth kinds (ix mod List.length kinds) in
+      let label = Printf.sprintf "%s#%d" (Ppp_apps.App.name kind) core in
+      let flow =
+        Ppp_apps.App.flow kind ~heap ~rng:(Ppp_util.Rng.split rng)
+          ~scale:config.Machine.scale ~label ()
+      in
+      { Engine.core; label; source = Ppp_click.Flow.source flow })
+    kind_ixs
+
+let run_attributed ?(reorder_every = 0) ~batch ~seed kind_ixs =
+  let config = Machine.tiny in
+  let hier = Machine.build config in
+  let flows = mk_flows ~config ~seed kind_ixs in
+  let flows =
+    if reorder_every <= 0 then flows
+    else
+      (* Relabel every Nth packet as Reordered — the detector's verdict is
+         just a tag on the item, so this exercises the partitioned latency
+         columns deterministically. *)
+      List.map
+        (fun (f : Engine.flow) ->
+          let inner = f.Engine.source in
+          let n = ref 0 in
+          let source now =
+            match inner now with
+            | Engine.Packet t ->
+                incr n;
+                if !n mod reorder_every = 0 then Engine.Reordered t
+                else Engine.Packet t
+            | it -> it
+          in
+          { f with Engine.source })
+        flows
+  in
+  let attrib = Attrib.create ~cores:(Topology.cores config.Machine.topology) in
+  let results =
+    Engine.run ~attrib ~batch hier ~flows ~warmup_cycles:20_000
+      ~measure_cycles:60_000
+  in
+  (attrib, results)
+
+let sum_elems at ~core read =
+  let acc = ref 0 in
+  for elem = 0 to Eid.count () - 1 do
+    acc := !acc + read at ~core ~elem
+  done;
+  !acc
+
+let check_conservation name (at, results) =
+  List.iter
+    (fun (r : Engine.result) ->
+      let core = r.Engine.core in
+      let ctx what = Printf.sprintf "%s: core %d %s" name core what in
+      Alcotest.(check int) (ctx "instructions conserved")
+        (Counters.instructions r.Engine.counters)
+        (sum_elems at ~core Attrib.instructions);
+      Alcotest.(check int) (ctx "L3 hits conserved")
+        (Counters.l3_hits r.Engine.counters)
+        (sum_elems at ~core Attrib.l3_hits);
+      Alcotest.(check int) (ctx "L3 misses conserved")
+        (Counters.l3_misses r.Engine.counters)
+        (sum_elems at ~core Attrib.l3_misses);
+      Alcotest.(check int) (ctx "cycles sum to the window")
+        r.Engine.window_cycles
+        (sum_elems at ~core Attrib.cycles);
+      (* Each in-window packet records its per-element time into each
+         touched element's histogram; summed over elements that must
+         reproduce the engine's packet latency total exactly. *)
+      let lat_total = ref 0 in
+      for elem = 0 to Eid.count () - 1 do
+        match Attrib.latency at ~core ~elem with
+        | Some h -> lat_total := !lat_total + Ppp_util.Histogram.total h
+        | None -> ()
+      done;
+      Alcotest.(check int) (ctx "per-element latency sums to packet latency")
+        (Ppp_util.Histogram.total r.Engine.latency)
+        !lat_total)
+    results
+
+let test_conservation_pair () =
+  check_conservation "IP+MON batch 32"
+    (run_attributed ~batch:32 ~seed:42 [ 0; 1 ]);
+  check_conservation "FW solo batch 1" (run_attributed ~batch:1 ~seed:7 [ 2 ])
+
+let prop_conservation =
+  QCheck.Test.make ~count:8
+    ~name:"profiler conservation: random flows x seed x batch"
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 1 4) (int_bound 100))
+        small_nat
+        (QCheck.make (QCheck.Gen.oneofl [ 1; 2; 7; 32 ])))
+    (fun (kind_ixs, seed, batch) ->
+      let at, results = run_attributed ~batch ~seed kind_ixs in
+      List.for_all
+        (fun (r : Engine.result) ->
+          let core = r.Engine.core in
+          sum_elems at ~core Attrib.instructions
+          = Counters.instructions r.Engine.counters
+          && sum_elems at ~core Attrib.l3_hits
+             = Counters.l3_hits r.Engine.counters
+          && sum_elems at ~core Attrib.l3_misses
+             = Counters.l3_misses r.Engine.counters
+          && sum_elems at ~core Attrib.cycles = r.Engine.window_cycles)
+        results)
+
+(* Attribution must not perturb the simulation: with and without [?attrib],
+   the engine's results are identical (the full fingerprint, histograms
+   compared via their exact endpoints). *)
+let fingerprint (r : Engine.result) =
+  ( ( r.Engine.core,
+      r.Engine.label,
+      r.Engine.packets,
+      r.Engine.window_cycles,
+      r.Engine.engine_ops ),
+    ( Counters.instructions r.Engine.counters,
+      Counters.mem_refs r.Engine.counters,
+      Counters.l3_hits r.Engine.counters,
+      Counters.l3_misses r.Engine.counters ),
+    ( Ppp_util.Histogram.count r.Engine.latency,
+      Ppp_util.Histogram.total r.Engine.latency,
+      Ppp_util.Histogram.percentile r.Engine.latency 0.0,
+      Ppp_util.Histogram.percentile r.Engine.latency 100.0 ) )
+
+let test_attrib_pure () =
+  let config = Machine.tiny in
+  let run ~attrib =
+    let hier = Machine.build config in
+    let flows = mk_flows ~config ~seed:42 [ 0; 3 ] in
+    let attrib =
+      if attrib then
+        Some (Attrib.create ~cores:(Topology.cores config.Machine.topology))
+      else None
+    in
+    List.map fingerprint
+      (Engine.run ?attrib ~batch:32 hier ~flows ~warmup_cycles:20_000
+         ~measure_cycles:60_000)
+  in
+  Alcotest.(check bool)
+    "results identical with and without attribution" true
+    (run ~attrib:false = run ~attrib:true)
+
+(* The reordered/in-order latency columns partition the latency histogram
+   exactly: counts, totals and the extreme percentiles all reconcile. *)
+let test_latency_partition () =
+  let _, results = run_attributed ~reorder_every:3 ~batch:32 ~seed:42 [ 0; 1 ] in
+  List.iter
+    (fun (r : Engine.result) ->
+      let h = Ppp_util.Histogram.count in
+      let t = Ppp_util.Histogram.total in
+      Alcotest.(check int) "counts partition"
+        (h r.Engine.latency)
+        (h r.Engine.latency_inorder + h r.Engine.latency_reordered);
+      Alcotest.(check int) "totals partition"
+        (t r.Engine.latency)
+        (t r.Engine.latency_inorder + t r.Engine.latency_reordered);
+      Alcotest.(check bool) "reordered packets actually landed" true
+        (h r.Engine.latency = 0 || h r.Engine.latency_reordered > 0);
+      Alcotest.(check int) "max is the max of the two columns"
+        (Ppp_util.Histogram.exact_max r.Engine.latency)
+        (max
+           (Ppp_util.Histogram.exact_max r.Engine.latency_inorder)
+           (Ppp_util.Histogram.exact_max r.Engine.latency_reordered)))
+    results
+
+(* The exports' determinism pin: fig2 profiled under --jobs 4 --batch 32
+   renders the same folded stacks and hot-spot report as --jobs 1 --batch 1.
+   Element ids differ across runs (registration order depends on domain
+   scheduling); keying by name is what makes this hold. *)
+let with_jobs n f =
+  let prev = Ppp_core.Parallel.configured_jobs () in
+  Ppp_core.Parallel.set_jobs n;
+  Fun.protect ~finally:(fun () -> Ppp_core.Parallel.set_jobs prev) f
+
+let profile_exports ~jobs ~batch =
+  with_jobs jobs (fun () ->
+      Ppp_telemetry.Recorder.clear_data ();
+      match Ppp_experiments.Registry.find "fig2" with
+      | None -> Alcotest.fail "fig2 not registered"
+      | Some e ->
+          let params =
+            Ppp_core.Runner.Params.(
+              quick |> with_batch batch |> with_profile true)
+          in
+          ignore (e.Ppp_experiments.Registry.run ~params ()
+                   : Ppp_experiments.Output.t);
+          let entries = Ppp_telemetry.Recorder.profile () in
+          Ppp_telemetry.Recorder.clear_data ();
+          ( Ppp_telemetry.Profile.folded_cycles entries,
+            Ppp_telemetry.Profile.folded_l3_misses entries,
+            Ppp_telemetry.Profile.top ~title:"fig2" entries ))
+
+let test_export_determinism () =
+  let c1, m1, t1 = profile_exports ~jobs:1 ~batch:1 in
+  let c4, m4, t4 = profile_exports ~jobs:4 ~batch:32 in
+  Alcotest.(check string)
+    "folded cycles: jobs 4 batch 32 == jobs 1 batch 1" c1 c4;
+  Alcotest.(check string)
+    "folded L3 misses: jobs 4 batch 32 == jobs 1 batch 1" m1 m4;
+  Alcotest.(check string)
+    "hot-spot report: jobs 4 batch 32 == jobs 1 batch 1" t1 t4;
+  Alcotest.(check bool) "folded stacks non-empty" true (String.length c1 > 0)
+
+let tests =
+  [
+    Alcotest.test_case "conservation on pinned workloads" `Quick
+      test_conservation_pair;
+    QCheck_alcotest.to_alcotest prop_conservation;
+    Alcotest.test_case "attribution is pure observation" `Quick
+      test_attrib_pure;
+    Alcotest.test_case "latency partitions in-order/reordered" `Quick
+      test_latency_partition;
+    Alcotest.test_case "exports byte-identical across jobs x batch" `Quick
+      test_export_determinism;
+  ]

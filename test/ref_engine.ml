@@ -17,11 +17,14 @@ type core_state = {
   mutable time : int;
   mutable trace : Trace.t;
   mutable is_packet : bool;
+  mutable is_reordered : bool;
   mutable pos : int;
   mutable pkt_start : int;
   mutable packets_done : int;
   mutable ops_done : int;
   latency : Ppp_util.Histogram.t;
+  latency_inorder : Ppp_util.Histogram.t;
+  latency_reordered : Ppp_util.Histogram.t;
   mutable warm_time : int;
   mutable warm_packets : int;
   mutable warm_counters : Counters.t option;
@@ -37,13 +40,17 @@ type core_state = {
 
 let fetch st =
   let item = st.flow.source st.time in
-  let trace, is_packet =
-    match item with Packet t -> (t, true) | Idle t -> (t, false)
+  let trace, is_packet, is_reordered =
+    match item with
+    | Packet t -> (t, true, false)
+    | Idle t -> (t, false, false)
+    | Reordered t -> (t, true, true)
   in
   if Trace.length trace = 0 then
     invalid_arg "Engine: source returned an empty trace";
   st.trace <- trace;
   st.is_packet <- is_packet;
+  st.is_reordered <- is_reordered;
   if is_packet then st.pkt_start <- st.time;
   st.pos <- 0
 
@@ -70,11 +77,14 @@ let run ?probe hier ~flows ~warmup_cycles ~measure_cycles =
             time = 0;
             trace = Trace.empty;
             is_packet = false;
+            is_reordered = false;
             pos = 0;
             pkt_start = 0;
             packets_done = 0;
             ops_done = 0;
             latency = Ppp_util.Histogram.create ();
+            latency_inorder = Ppp_util.Histogram.create ();
+            latency_reordered = Ppp_util.Histogram.create ();
             warm_time = 0;
             warm_packets = 0;
             warm_counters = None;
@@ -181,6 +191,10 @@ let run ?probe hier ~flows ~warmup_cycles ~measure_cycles =
         Counters.add_packet (Hierarchy.counters hier st.flow.core);
         if st.warm_counters <> None && st.end_counters = None then begin
           Ppp_util.Histogram.record st.latency (st.time - st.pkt_start);
+          Ppp_util.Histogram.record
+            (if st.is_reordered then st.latency_reordered
+             else st.latency_inorder)
+            (st.time - st.pkt_start);
           match st.samp_counters with
           | Some _ ->
               Ppp_util.Histogram.record st.samp_latency
@@ -229,6 +243,8 @@ let run ?probe hier ~flows ~warmup_cycles ~measure_cycles =
            l3_refs_per_sec = float_of_int (Counters.l3_refs ctr) /. seconds;
            l3_hits_per_sec = float_of_int (Counters.l3_hits ctr) /. seconds;
            latency = st.latency;
+           latency_inorder = st.latency_inorder;
+           latency_reordered = st.latency_reordered;
            engine_ops = st.ops_done;
          })
        states)

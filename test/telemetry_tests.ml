@@ -222,8 +222,8 @@ let test_manifest_shape () =
             (Printf.sprintf "manifest mentions %s" needle)
             true (minified_contains s needle))
         [
-          "ppp-telemetry/4"; "\"schema_version\":4"; "\"tool\":\"test\"";
-          "\"fig2\""; "wall_clock";
+          "ppp-telemetry/5"; "\"schema_version\":5"; "\"tool\":\"test\"";
+          "\"fig2\""; "wall_clock"; "\"profile\":{\"entries\":0";
         ])
 
 let test_manifest_alerts_shape () =

@@ -15,6 +15,7 @@ let () =
       ("engine-equiv", Engine_equiv_tests.tests);
       ("perf-gate", Perf_gate_tests.tests);
       ("determinism", Determinism_tests.tests);
+      ("profile", Profile_tests.tests);
       ("telemetry", Telemetry_tests.tests);
       ("monitor", Monitor_tests.tests);
       ("extras", Extra_tests.tests);

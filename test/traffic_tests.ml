@@ -164,8 +164,10 @@ let prop_rss_never_reorders =
       let p = Ppp_net.Packet.create 128 in
       for _ = 1 to 20_000 do
         ignore (Source.fill src p);
-        Reorder.observe det ~flow:(Source.last_flow src)
-          ~seq:(Source.last_seq src)
+        ignore
+          (Reorder.observe det ~flow:(Source.last_flow src)
+             ~seq:(Source.last_seq src)
+            : bool)
       done;
       Reorder.reorders det = 0)
 
@@ -184,8 +186,10 @@ let prop_fdir_reorders_eq_migrations =
       let p = Ppp_net.Packet.create 128 in
       for _ = 1 to 30_000 do
         ignore (Source.fill src p);
-        Reorder.observe det ~flow:(Source.last_flow src)
-          ~seq:(Source.last_seq src)
+        ignore
+          (Reorder.observe det ~flow:(Source.last_flow src)
+             ~seq:(Source.last_seq src)
+            : bool)
       done;
       Steering.migrations st > 0
       && Reorder.reorders det = Steering.migrations st)
@@ -204,14 +208,15 @@ let test_reorder_eviction_never_false_positive () =
      — eviction may only under-count. *)
   let det = Reorder.create ~slots:8 () in
   for seq = 0 to 999 do
-    Reorder.observe det ~flow:0 ~seq;
-    Reorder.observe det ~flow:8 ~seq
+    ignore (Reorder.observe det ~flow:0 ~seq : bool);
+    ignore (Reorder.observe det ~flow:8 ~seq : bool)
   done;
   Alcotest.(check int) "no false positives under aliasing" 0
     (Reorder.reorders det);
   Alcotest.(check int) "observed all" 2000 (Reorder.observed det);
   (* A genuine inversion on a resident flow is still caught. *)
-  Reorder.observe det ~flow:8 ~seq:0;
+  Alcotest.(check bool) "observe flags the inversion" true
+    (Reorder.observe det ~flow:8 ~seq:0);
   Alcotest.(check int) "real inversion detected" 1 (Reorder.reorders det)
 
 let tests =

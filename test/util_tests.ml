@@ -399,6 +399,51 @@ let prop_histogram_merge_union =
            (fun p -> Histogram.percentile a p = Histogram.percentile u p)
            [ 0.0; 50.0; 90.0; 99.0; 100.0 ])
 
+let prop_histogram_percentile_monotone =
+  QCheck.Test.make ~count:500
+    ~name:"histogram percentile monotone in p (endpoints included)"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 50) (int_range 0 1_000_000))
+        (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun (xs, (p1, p2)) ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) xs;
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Histogram.percentile h lo <= Histogram.percentile h hi)
+
+let prop_histogram_endpoints_exact =
+  QCheck.Test.make ~count:500
+    ~name:"percentile 0/100 return the exact recorded endpoints"
+    QCheck.(list_of_size Gen.(int_range 1 50) (int_range 0 1_000_000))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) xs;
+      let mn = List.fold_left min (List.hd xs) xs
+      and mx = List.fold_left max (List.hd xs) xs in
+      Histogram.percentile h 0.0 = mn
+      && Histogram.percentile h 100.0 = mx
+      && Histogram.min_value h = mn
+      && Histogram.exact_max h = mx)
+
+let prop_histogram_merge_minmax =
+  QCheck.Test.make ~count:500
+    ~name:"merge_into carries exact min/max from both sides"
+    QCheck.(
+      pair (list (int_range 0 1_000_000)) (list (int_range 0 1_000_000)))
+    (fun (xs, ys) ->
+      let a = Histogram.create ()
+      and b = Histogram.create ()
+      and u = Histogram.create () in
+      List.iter (Histogram.record a) xs;
+      List.iter (Histogram.record b) ys;
+      List.iter (Histogram.record u) (xs @ ys);
+      Histogram.merge_into ~src:b ~dst:a;
+      Histogram.min_value a = Histogram.min_value u
+      && Histogram.exact_max a = Histogram.exact_max u
+      && Histogram.percentile a 0.0 = Histogram.percentile u 0.0
+      && Histogram.percentile a 100.0 = Histogram.percentile u 100.0)
+
 let tests =
   [
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
@@ -445,6 +490,9 @@ let tests =
     Alcotest.test_case "rng draws allocation-free" `Quick
       test_rng_draw_allocation_free;
     QCheck_alcotest.to_alcotest prop_histogram_merge_union;
+    QCheck_alcotest.to_alcotest prop_histogram_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_histogram_endpoints_exact;
+    QCheck_alcotest.to_alcotest prop_histogram_merge_minmax;
     QCheck_alcotest.to_alcotest prop_series_eval_within_bounds;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;
     QCheck_alcotest.to_alcotest prop_rng_int_in_range;
